@@ -1,0 +1,84 @@
+// Command osap-eval evaluates one (train, test) dataset pair: it trains
+// (or loads) the artifacts for the training distribution and measures
+// the QoE of vanilla Pensieve, the three safety-enhanced variants, BB
+// and Random on the test distribution, printing raw and normalized
+// scores.
+//
+// Usage:
+//
+//	osap-eval -train gamma22 -test exponential [-scale paper|quick]
+//	          [-models dir] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"osap/internal/experiments"
+	"osap/internal/trace"
+)
+
+func main() {
+	trainDS := flag.String("train", "", "training dataset")
+	testDS := flag.String("test", "", "test dataset")
+	scale := flag.String("scale", "quick", "run scale: paper or quick")
+	models := flag.String("models", "", "directory of pre-trained artifacts (optional)")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	if err := run(*trainDS, *testDS, *scale, *models, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "osap-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trainDS, testDS, scale, models string, verbose bool) error {
+	if trainDS == "" || testDS == "" {
+		return fmt.Errorf("both -train and -test are required (datasets: %v)", trace.DatasetNames())
+	}
+	var cfg experiments.Config
+	switch scale {
+	case "paper":
+		cfg = experiments.PaperConfig()
+	case "quick":
+		cfg = experiments.QuickConfig()
+	default:
+		return fmt.Errorf("unknown -scale %q (want paper or quick)", scale)
+	}
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		lab.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if models != "" {
+		path := filepath.Join(models, trainDS+".json")
+		if _, err := os.Stat(path); err == nil {
+			a, err := experiments.LoadArtifacts(path)
+			if err != nil {
+				return err
+			}
+			if err := lab.InstallArtifacts(a); err != nil {
+				return err
+			}
+		}
+	}
+
+	r, err := lab.EvaluatePair(trainDS, testDS)
+	if err != nil {
+		return err
+	}
+	rel := "OOD"
+	if trainDS == testDS {
+		rel = "in-distribution"
+	}
+	fmt.Printf("train=%s test=%s (%s)\n", trainDS, testDS, rel)
+	fmt.Printf("%-12s%12s%12s\n", "scheme", "QoE", "normalized")
+	for _, s := range experiments.Schemes() {
+		fmt.Printf("%-12s%12.2f%12.2f\n", s, r[s], experiments.NormalizedScore(r, s))
+	}
+	return nil
+}

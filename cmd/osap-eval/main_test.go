@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunEvaluatesPair(t *testing.T) {
+	if err := run("gamma22", "exponential", "quick", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInDistribution(t *testing.T) {
+	if err := run("gamma12", "gamma12", "quick", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "norway", "quick", "", false); err == nil {
+		t.Error("missing train accepted")
+	}
+	if err := run("norway", "", "quick", "", false); err == nil {
+		t.Error("missing test accepted")
+	}
+	if err := run("norway", "norway", "huge", "", false); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("nope", "norway", "quick", "", false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// Command osap-monitor is a standalone out-of-distribution monitor for a
+// scalar metric stream (throughput, latency, request rate, …), built
+// from the U_S components: windowed [mean, std] features, a one-class
+// SVM fitted on a calibration series, and the paper's l-consecutive
+// trigger.
+//
+// Usage:
+//
+//	osap-monitor -fit calibration.txt [-window 10] [-k 5] [-nu 0.05] [-l 3] < live_stream.txt
+//
+// Both inputs are one sample per line (blank lines and #-comments
+// ignored). Every out-of-distribution window is reported; when the
+// trigger fires the monitor prints an ALERT with the stream position.
+// Exit status is 2 if the trigger fired, 0 otherwise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"osap"
+)
+
+func main() {
+	fit := flag.String("fit", "", "file of in-distribution calibration samples (required)")
+	window := flag.Int("window", 10, "samples per [mean,std] summary window")
+	k := flag.Int("k", 5, "summary windows per detector sample")
+	nu := flag.Float64("nu", 0.05, "OC-SVM nu (upper bound on calibration outlier fraction)")
+	l := flag.Int("l", 3, "consecutive OOD windows required to alert")
+	quiet := flag.Bool("quiet", false, "only print the final alert/summary")
+	flag.Parse()
+
+	fired, err := run(*fit, *window, *k, *nu, *l, *quiet, os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osap-monitor:", err)
+		os.Exit(1)
+	}
+	if fired {
+		os.Exit(2)
+	}
+}
+
+// readSamples parses one float per line.
+func readSamples(r io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(r)
+	var out []float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+func run(fitPath string, window, k int, nu float64, l int, quiet bool, stream io.Reader, out io.Writer) (bool, error) {
+	if fitPath == "" {
+		return false, fmt.Errorf("-fit is required")
+	}
+	f, err := os.Open(fitPath)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	calib, err := readSamples(f)
+	if err != nil {
+		return false, fmt.Errorf("read calibration: %w", err)
+	}
+
+	sigCfg := osap.StateSignalConfig{ThroughputWindow: window, K: k}
+	if err := sigCfg.Validate(); err != nil {
+		return false, err
+	}
+	feats := osap.BuildStateFeatures(calib, sigCfg)
+	if len(feats) < 10 {
+		return false, fmt.Errorf("calibration series too short: %d samples yield %d features (need ≥ 10)",
+			len(calib), len(feats))
+	}
+	model, err := osap.TrainOCSVM(feats, osap.OCSVMConfig{Nu: nu})
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "fitted on %d calibration samples (%d features, %d SVs)\n",
+		len(calib), len(feats), model.NumSVs())
+
+	signal, err := osap.NewStateSignal(model, func(obs []float64) float64 { return obs[0] }, sigCfg)
+	if err != nil {
+		return false, err
+	}
+	tc := osap.StateTriggerConfig()
+	tc.L = l
+	trigger := osap.NewTrigger(tc)
+
+	samples, err := readSamples(stream)
+	if err != nil {
+		return false, fmt.Errorf("read stream: %w", err)
+	}
+	oodCount := 0
+	for i, v := range samples {
+		score := signal.Observe([]float64{v})
+		if score > 0.5 {
+			oodCount++
+			if !quiet {
+				fmt.Fprintf(out, "step %d: OOD (value %g)\n", i, v)
+			}
+		}
+		if trigger.Step(score) && trigger.FiredAtStep() == i {
+			fmt.Fprintf(out, "ALERT: distribution change at stream position %d\n", i)
+		}
+	}
+	fmt.Fprintf(out, "processed %d samples: %d OOD windows, alert=%v\n",
+		len(samples), oodCount, trigger.Fired())
+	return trigger.Fired(), nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"osap/internal/stats"
+)
+
+// writeSeries writes one sample per line from the sampler.
+func writeSeries(t *testing.T, s stats.Sampler, n int, seed uint64) string {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	var b strings.Builder
+	b.WriteString("# test series\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%g\n", s.Sample(rng))
+	}
+	path := filepath.Join(t.TempDir(), "series.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func streamOf(t *testing.T, s stats.Sampler, n int, seed uint64) string {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%g\n", s.Sample(rng))
+	}
+	return b.String()
+}
+
+func TestMonitorQuietInDistribution(t *testing.T) {
+	dist := stats.Gamma{Shape: 2, Scale: 2}
+	fit := writeSeries(t, dist, 3000, 1)
+	var out strings.Builder
+	fired, err := run(fit, 10, 5, 0.02, 12, true, strings.NewReader(streamOf(t, dist, 150, 2)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Errorf("monitor alerted on in-distribution stream:\n%s", out.String())
+	}
+}
+
+func TestMonitorAlertsOnShift(t *testing.T) {
+	fit := writeSeries(t, stats.Gamma{Shape: 2, Scale: 2}, 3000, 1)
+	var out strings.Builder
+	shifted := stats.Normal{Mu: 15, Sigma: 0.5}
+	fired, err := run(fit, 10, 5, 0.05, 3, true, strings.NewReader(streamOf(t, shifted, 100, 3)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Errorf("monitor missed a large shift:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ALERT") {
+		t.Error("no ALERT line printed")
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run("", 10, 5, 0.05, 3, true, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -fit accepted")
+	}
+	if _, err := run("/nonexistent", 10, 5, 0.05, 3, true, strings.NewReader(""), &out); err == nil {
+		t.Error("missing fit file accepted")
+	}
+	short := writeSeries(t, stats.Uniform{Low: 0, High: 1}, 8, 1)
+	if _, err := run(short, 10, 5, 0.05, 3, true, strings.NewReader(""), &out); err == nil {
+		t.Error("too-short calibration accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(garbage, []byte("abc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(garbage, 10, 5, 0.05, 3, true, strings.NewReader(""), &out); err == nil {
+		t.Error("garbage calibration accepted")
+	}
+	good := writeSeries(t, stats.Uniform{Low: 0, High: 1}, 500, 1)
+	if _, err := run(good, 10, 5, 0.05, 3, true, strings.NewReader("xyz\n"), &out); err == nil {
+		t.Error("garbage stream accepted")
+	}
+	if _, err := run(good, 1, 5, 0.05, 3, true, strings.NewReader(""), &out); err == nil {
+		t.Error("invalid window accepted")
+	}
+}

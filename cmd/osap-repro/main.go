@@ -1,0 +1,173 @@
+// Command osap-repro regenerates the paper's evaluation figures
+// (Figures 1–5 of "Online Safety Assurance for Learning-Augmented
+// Systems", HotNets '20) end to end: it generates the six datasets,
+// trains a Pensieve agent ensemble, value ensemble and OC-SVM per
+// training distribution, calibrates the defaulting thresholds, runs the
+// 36-pair evaluation grid, and prints each figure as a text table.
+//
+// Usage:
+//
+//	osap-repro [-fig all|1|2|3|4|5] [-scale paper|quick] [-models dir] [-v]
+//
+// With -models, artifacts previously produced by osap-train are loaded
+// instead of retrained (missing datasets are trained on demand).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"osap/internal/experiments"
+	"osap/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 4, 5 or ext (future-work extensions)")
+	scale := flag.String("scale", "paper", "run scale: paper or quick")
+	models := flag.String("models", "", "directory of pre-trained artifacts (from osap-train)")
+	save := flag.String("save", "", "directory to persist trained artifacts into after the run")
+	verbose := flag.Bool("v", false, "print training/evaluation progress")
+	flag.Parse()
+
+	if err := run(*fig, *scale, *models, *save, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "osap-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, scale, models, save string, verbose bool) error {
+	var cfg experiments.Config
+	switch scale {
+	case "paper":
+		cfg = experiments.PaperConfig()
+	case "quick":
+		cfg = experiments.QuickConfig()
+	default:
+		return fmt.Errorf("unknown -scale %q (want paper or quick)", scale)
+	}
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		lab.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if models != "" {
+		for _, name := range trace.DatasetNames() {
+			path := filepath.Join(models, name+".json")
+			if _, err := os.Stat(path); err != nil {
+				continue
+			}
+			a, err := experiments.LoadArtifacts(path)
+			if err != nil {
+				return err
+			}
+			if err := lab.InstallArtifacts(a); err != nil {
+				return err
+			}
+			if verbose {
+				fmt.Fprintf(os.Stderr, "loaded artifacts for %s from %s\n", name, path)
+			}
+		}
+	}
+
+	wanted := map[string]bool{}
+	if fig == "all" {
+		for _, f := range []string{"1", "2", "3", "4", "5", "ext"} {
+			wanted[f] = true
+		}
+	} else {
+		known := map[string]bool{"1": true, "2": true, "3": true, "4": true, "5": true, "ext": true}
+		for _, f := range strings.Split(fig, ",") {
+			f = strings.TrimSpace(f)
+			if !known[f] {
+				return fmt.Errorf("unknown figure %q (want 1-5, ext or all)", f)
+			}
+			wanted[f] = true
+		}
+	}
+
+	if wanted["1"] {
+		f, err := lab.Figure1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
+	if wanted["2"] {
+		for _, tr := range []string{"belgium", "gamma22"} {
+			f, err := lab.Figure2(tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		}
+	}
+	if wanted["3"] {
+		f, err := lab.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
+	if wanted["4"] {
+		f, err := lab.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
+	if wanted["5"] {
+		f, err := lab.Figure5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
+	if wanted["ext"] {
+		for _, tr := range []string{"belgium", "gamma22"} {
+			d, err := lab.ExtensionDefaults(tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(d.Render())
+			s, err := lab.ExtensionSignals(tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s.Render())
+			tg, err := lab.ExtensionTriggers(tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tg.Render())
+			oh, err := lab.OracleHeadroom(tr, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Println(oh.Render())
+		}
+	}
+	if len(wanted) == 0 {
+		return fmt.Errorf("no figures selected (-fig %q)", fig)
+	}
+	if save != "" {
+		for _, name := range trace.DatasetNames() {
+			a, err := lab.Artifacts(name)
+			if err != nil {
+				return err
+			}
+			path, err := experiments.SaveArtifacts(save, a)
+			if err != nil {
+				return err
+			}
+			if verbose {
+				fmt.Fprintln(os.Stderr, "saved", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command osap-train trains the per-dataset artifacts — the Pensieve
+// agent ensemble, the value-function ensemble, the OC-SVM novelty
+// detector and the calibrated defaulting thresholds — and persists them
+// as JSON for later use by osap-eval and osap-repro.
+//
+// Usage:
+//
+//	osap-train [-dataset norway|belgium|gamma12|gamma22|logistic|exponential|all]
+//	           [-scale paper|quick] [-out models] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"osap/internal/experiments"
+	"osap/internal/trace"
+)
+
+func main() {
+	dataset := flag.String("dataset", "all", "dataset to train on, or all")
+	scale := flag.String("scale", "paper", "run scale: paper or quick")
+	out := flag.String("out", "models", "output directory for artifacts")
+	verbose := flag.Bool("v", false, "print training progress")
+	flag.Parse()
+
+	if err := run(*dataset, *scale, *out, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "osap-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, scale, out string, verbose bool) error {
+	var cfg experiments.Config
+	switch scale {
+	case "paper":
+		cfg = experiments.PaperConfig()
+	case "quick":
+		cfg = experiments.QuickConfig()
+	default:
+		return fmt.Errorf("unknown -scale %q (want paper or quick)", scale)
+	}
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		lab.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	var names []string
+	if dataset == "all" {
+		names = trace.DatasetNames()
+	} else {
+		if _, err := trace.GeneratorFor(dataset); err != nil {
+			return err
+		}
+		names = []string{dataset}
+	}
+	for _, name := range names {
+		a, err := lab.Artifacts(name)
+		if err != nil {
+			return err
+		}
+		path, err := experiments.SaveArtifacts(out, a)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ensemble=%d value-fns=%d SVs=%d alpha_pi=%.4g alpha_V=%.4g -> %s\n",
+			name, len(a.Agents), len(a.ValueNets), a.OCSVM.NumSVs(), a.AlphaPi, a.AlphaV, path)
+	}
+	return nil
+}

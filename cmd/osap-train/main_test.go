@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"osap/internal/experiments"
+)
+
+func TestRunTrainsAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("gamma22", "quick", dir, false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "gamma22.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	a, err := experiments.LoadArtifacts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset != "gamma22" || len(a.Agents) == 0 {
+		t.Errorf("bad artifacts: %+v", a.Dataset)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("gamma22", "mega", t.TempDir(), false); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("nope", "quick", t.TempDir(), false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

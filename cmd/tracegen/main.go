@@ -1,0 +1,97 @@
+// Command tracegen generates and inspects network throughput traces in
+// the cooked (per-second Mbps) and MahiMahi (packet-delivery timestamp)
+// formats.
+//
+// Usage:
+//
+//	tracegen -dataset norway -n 5 -duration 300 -format cooked -out traces/
+//	tracegen -dataset gamma22 -duration 60            # one trace to stdout
+//	tracegen -inspect traces/norway-000.trace          # print statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+func main() {
+	dataset := flag.String("dataset", "norway", "trace generator (dataset name)")
+	n := flag.Int("n", 1, "number of traces")
+	duration := flag.Int("duration", 300, "trace duration in seconds")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	format := flag.String("format", "cooked", "output format: cooked or mahimahi")
+	out := flag.String("out", "", "output directory (default: single trace to stdout)")
+	inspect := flag.String("inspect", "", "print statistics of an existing cooked trace file")
+	flag.Parse()
+
+	if err := run(*dataset, *n, *duration, *seed, *format, *out, *inspect); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, n, duration int, seed uint64, format, out, inspect string) error {
+	if inspect != "" {
+		f, err := os.Open(inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.ReadCooked(f, filepath.Base(inspect))
+		if err != nil {
+			return err
+		}
+		fmt.Println(trace.Analyze(tr))
+		return nil
+	}
+
+	gen, err := trace.GeneratorFor(dataset)
+	if err != nil {
+		return err
+	}
+	if duration <= 0 || n <= 0 {
+		return fmt.Errorf("need positive -n and -duration")
+	}
+	write := func(tr *trace.Trace, w *os.File) error {
+		if format == "mahimahi" {
+			return tr.WriteMahiMahi(w)
+		}
+		if format != "cooked" {
+			return fmt.Errorf("unknown -format %q", format)
+		}
+		return tr.WriteCooked(w)
+	}
+
+	rng := stats.NewRNG(seed)
+	if out == "" {
+		if n != 1 {
+			return fmt.Errorf("-n > 1 requires -out")
+		}
+		return write(gen.Generate(rng, duration), os.Stdout)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		tr := gen.Generate(rng, duration)
+		path := filepath.Join(out, fmt.Sprintf("%s-%03d.trace", dataset, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(tr, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d s, mean %.2f Mbps\n", path, duration, tr.Mean())
+	}
+	return nil
+}

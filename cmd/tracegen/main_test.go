@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"osap/internal/trace"
+)
+
+func TestRunGeneratesDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("gamma22", 3, 20, 1, "cooked", dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("generated %d files, want 3", len(entries))
+	}
+	f, err := os.Open(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCooked(f, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Mbps) != 20 {
+		t.Fatalf("trace length %d, want 20", len(tr.Mbps))
+	}
+}
+
+func TestRunMahiMahiFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("norway", 1, 10, 2, "mahimahi", dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "norway-000.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ReadMahiMahi(strings.NewReader(string(data)), "m", 10); err != nil {
+		t.Fatalf("output is not valid mahimahi: %v", err)
+	}
+}
+
+func TestRunInspect(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("exponential", 1, 15, 3, "cooked", dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, 0, 0, "", "", filepath.Join(dir, "exponential-000.trace")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 1, 10, 1, "cooked", "", ""); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("norway", 2, 10, 1, "cooked", "", ""); err == nil {
+		t.Error("n>1 without -out accepted")
+	}
+	if err := run("norway", 1, 0, 1, "cooked", "", ""); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := run("norway", 1, 10, 1, "yaml", t.TempDir(), ""); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("", 0, 0, 0, "", "", "/nonexistent"); err == nil {
+		t.Error("missing inspect file accepted")
+	}
+}

@@ -1,0 +1,179 @@
+// Congestion: online safety assurance for a deep-RL congestion
+// controller — the paper's methodology applied to a second networking
+// domain (its conclusion explicitly calls for this).
+//
+// An Aurora-style rate-control agent is trained on stable ~4 Mbps links.
+// Deployed on a violently oscillating link it was never trained for, it
+// misbehaves; a Guard watching the U_V value-ensemble disagreement
+// detects the mismatch and defaults to a classical AIMD controller.
+//
+// Run:
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"osap"
+	"osap/internal/cc"
+	"osap/internal/mdp"
+	"osap/internal/rl"
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// stableTraces are gentle ~4 Mbps links (the training world).
+func stableTraces(rng *stats.RNG, n int) []*trace.Trace {
+	gen := trace.MarkovGenerator{
+		Name:    "stable",
+		Regimes: []trace.Regime{{MeanMbps: 3.6, Sigma: 0.08}, {MeanMbps: 4.4, Sigma: 0.08}},
+		P:       [][]float64{{0.9, 0.1}, {0.1, 0.9}},
+		Smooth:  0.7,
+		MaxMbps: 6,
+	}
+	out := make([]*trace.Trace, n)
+	for i := range out {
+		out[i] = gen.Generate(rng, 400)
+	}
+	return out
+}
+
+// volatileTraces oscillate between famine and feast every few seconds —
+// far outside the training distribution.
+func volatileTraces(rng *stats.RNG, n int) []*trace.Trace {
+	out := make([]*trace.Trace, n)
+	for i := range out {
+		tr := &trace.Trace{Name: "volatile"}
+		for s := 0; s < 400; s++ {
+			base := 0.4
+			if (s/4)%2 == 0 {
+				base = 12
+			}
+			tr.Mbps = append(tr.Mbps, math.Max(0.1, base+0.2*rng.NormFloat64()))
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+func run() error {
+	rng := osap.NewRNG(20)
+	train := stableTraces(rng, 12)
+	volatile := volatileTraces(rng, 8)
+
+	factory := func(traces []*trace.Trace) rl.EnvFactory {
+		return func() mdp.Env {
+			env, err := cc.NewEnv(cc.DefaultConfig(traces))
+			if err != nil {
+				panic(err)
+			}
+			return env
+		}
+	}
+
+	// 1. Train the controller on stable links.
+	fmt.Println("training an Aurora-style rate controller on stable ~4 Mbps links (~2 min)...")
+	tcfg := rl.TrainConfig{
+		Net: rl.NetConfig{
+			ObsChannels: 4, HistoryLen: 10,
+			ConvFilters: 8, ConvKernel: 4, Hidden: 32,
+			Actions: len(cc.RateFactors),
+		},
+		Gamma: 0.9, Epochs: 800, RolloutsPerEpoch: 16,
+		LRActor: 1e-3, LRCritic: 3e-3,
+		EntropyInit: 0.5, EntropyFinal: 0.005,
+		GradClip: 5, NormalizeAdv: true, Seed: 21,
+	}
+	agent, _, err := rl.Train(factory(train), tcfg)
+	if err != nil {
+		return err
+	}
+	learned := rl.GreedyPolicy{P: agent}
+
+	// 2. U_V safety net: a value-function ensemble trained on the
+	// deployed agent's own experience, as in the paper (§2.4).
+	fmt.Println("training the value-function ensemble for U_V...")
+	vcfg := rl.DefaultValueTrainConfig()
+	vcfg.Net = tcfg.Net
+	vcfg.Gamma = tcfg.Gamma
+	vcfg.Episodes = 12
+	vcfg.Passes = 10
+	vcfg.Seed, vcfg.InitSeed = 22, 23
+	valueNets, err := rl.TrainValueEnsemble(factory(train), agent, vcfg, 5)
+	if err != nil {
+		return err
+	}
+	sig, err := osap.NewValueSignal(rl.ValueEnsemble(valueNets), osap.DefaultEnsembleConfig())
+	if err != nil {
+		return err
+	}
+
+	aimd := cc.NewAIMDPolicy(10)
+
+	// 3. Calibrate the trigger threshold so the guard matches the
+	// learned policy's performance on held-out stable links (§2.5).
+	heldOut := stableTraces(rng, 4)
+	learnedStable := meanReward(factory(heldOut), learned, 6)
+	calib, err := osap.Calibrate(func(alpha float64) float64 {
+		g, err := osap.NewGuard(learned, aimd, sig, osap.NewTrigger(osap.VarianceTriggerConfig(alpha, 3)))
+		if err != nil {
+			panic(err)
+		}
+		env := factory(heldOut)()
+		return osap.MeanQoE(osap.EvaluateGuard(env, g, osap.NewRNG(31), 6))
+	}, learnedStable*0.95, 1e-6, 1e6, 10)
+	if err != nil {
+		return err
+	}
+	guard, err := osap.NewGuard(learned, aimd, sig,
+		osap.NewTrigger(osap.VarianceTriggerConfig(calib.Threshold, 3)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated U_V threshold: %.3g\n\n", calib.Threshold)
+
+	// 4. Compare across worlds.
+	for _, world := range []struct {
+		name   string
+		traces []*trace.Trace
+	}{
+		{"stable links (in-distribution)", heldOut},
+		{"oscillating links (out-of-distribution)", volatile},
+	} {
+		f := factory(world.traces)
+		agentR := meanReward(f, learned, 8)
+		aimdR := meanReward(f, aimd, 8)
+		res := osap.EvaluateGuard(f(), guard, osap.NewRNG(33), 8)
+		switched := 0
+		for _, r := range res {
+			if r.SwitchStep >= 0 {
+				switched++
+			}
+		}
+		fmt.Printf("%s:\n", world.name)
+		fmt.Printf("  learned controller reward: %9.0f\n", agentR)
+		fmt.Printf("  AIMD reward:               %9.0f\n", aimdR)
+		fmt.Printf("  guarded reward:            %9.0f (defaulted in %d/8 episodes)\n\n",
+			osap.MeanQoE(res), switched)
+	}
+	return nil
+}
+
+func meanReward(f rl.EnvFactory, p osap.Policy, episodes int) float64 {
+	env := f()
+	rng := osap.NewRNG(33)
+	var total float64
+	for i := 0; i < episodes; i++ {
+		total += osap.Rollout(env, p, rng, 0).TotalReward()
+	}
+	return total / float64(episodes)
+}

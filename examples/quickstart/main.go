@@ -1,0 +1,138 @@
+// Quickstart: wrap a learned ABR policy with online safety assurance.
+//
+// This example trains a tiny Pensieve-style agent on one network
+// distribution (Gamma(2,2) throughput), builds the paper's U_S
+// (novelty-detection) safety net around it, and then streams over a very
+// different network (Exponential(1)). The guard detects the
+// distribution shift and defaults to the Buffer-Based heuristic.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"osap"
+	"osap/internal/abr"
+	"osap/internal/mdp"
+	"osap/internal/rl"
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := osap.NewRNG(42)
+	video := abr.SyntheticVideo(1, 48, 4)
+
+	// 1. Two worlds: train on Gamma(2,2) throughput, deploy on
+	// Exponential(1).
+	trainGen, _ := trace.GeneratorFor(trace.DatasetGamma22)
+	deployGen, _ := trace.GeneratorFor(trace.DatasetExponential)
+	trainTraces := genTraces(trainGen, rng, 16)
+	deployTraces := genTraces(deployGen, rng, 8)
+
+	// 2. Train a small Pensieve-style agent on the training world.
+	fmt.Println("training a small Pensieve-style agent on Gamma(2,2) traces...")
+	trainCfg := rl.DefaultTrainConfig()
+	trainCfg.Epochs = 150
+	trainCfg.RolloutsPerEpoch = 12
+	agent, _, err := rl.Train(func() mdp.Env {
+		env, err := abr.NewEnv(abr.DefaultEnvConfig(video, trainTraces))
+		if err != nil {
+			panic(err)
+		}
+		return env
+	}, trainCfg)
+	if err != nil {
+		return err
+	}
+	learned := rl.GreedyPolicy{P: agent}
+
+	// 3. Build the U_S safety net: an OC-SVM over windowed throughput
+	// features collected from the agent's own training rollouts.
+	fmt.Println("fitting the one-class SVM novelty detector...")
+	sigCfg := osap.DefaultStateSignalConfig()
+	var features [][]float64
+	for ep := 0; ep < 8; ep++ {
+		env, err := abr.NewEnv(abr.DefaultEnvConfig(video, trainTraces))
+		if err != nil {
+			return err
+		}
+		// Collect the per-chunk throughputs of one rollout with a hook.
+		var thr []float64
+		mdp.Rollout(env, learned, rng, mdp.RolloutOptions{
+			OnStep: func(_ int, _ mdp.Transition) {
+				thr = append(thr, env.LastChunk().ThroughputMbps)
+			},
+		})
+		features = append(features, osap.BuildStateFeatures(thr, sigCfg)...)
+	}
+	model, err := osap.TrainOCSVM(features, osap.DefaultOCSVMConfig())
+	if err != nil {
+		return err
+	}
+	signal, err := osap.NewStateSignal(model, abr.LastThroughputMbps, sigCfg)
+	if err != nil {
+		return err
+	}
+
+	// 4. Assemble the guard: learned policy + BB fallback + signal +
+	// "3 consecutive OOD steps" trigger.
+	guard, err := osap.NewGuard(
+		learned,
+		abr.NewBBPolicy(video.NumLevels()),
+		signal,
+		osap.NewTrigger(osap.StateTriggerConfig()),
+	)
+	if err != nil {
+		return err
+	}
+
+	// 5. Stream in both worlds and compare.
+	for _, world := range []struct {
+		name   string
+		traces []*trace.Trace
+	}{
+		{"in-distribution (Gamma(2,2))", trainTraces},
+		{"out-of-distribution (Exponential(1))", deployTraces},
+	} {
+		env, err := abr.NewEnv(abr.DefaultEnvConfig(video, world.traces))
+		if err != nil {
+			return err
+		}
+		vanilla := stats.Mean(abr.EvaluatePolicy(env, learned, osap.NewRNG(7), 10))
+		bb := stats.Mean(abr.EvaluatePolicy(env, abr.NewBBPolicy(video.NumLevels()), osap.NewRNG(7), 10))
+		results := osap.EvaluateGuard(env, guard, osap.NewRNG(7), 10)
+		guarded := osap.MeanQoE(results)
+
+		switched := 0
+		for _, r := range results {
+			if r.SwitchStep >= 0 {
+				switched++
+			}
+		}
+		fmt.Printf("\n%s:\n", world.name)
+		fmt.Printf("  vanilla Pensieve QoE: %8.1f\n", vanilla)
+		fmt.Printf("  BB heuristic QoE:     %8.1f\n", bb)
+		fmt.Printf("  guarded Pensieve QoE: %8.1f (defaulted in %d/10 episodes)\n",
+			guarded, switched)
+	}
+	return nil
+}
+
+func genTraces(gen trace.Generator, rng *stats.RNG, n int) []*trace.Trace {
+	out := make([]*trace.Trace, n)
+	for i := range out {
+		out[i] = gen.Generate(rng, 400)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Videostream: live ABR streaming over real TCP sockets with online
+// safety assurance.
+//
+// This example starts a local HTTP chunk server whose connections are
+// shaped to a throughput trace (a MahiMahi-style link shell in pure Go)
+// and streams a short video through it with a real HTTP client. The
+// session has three acts:
+//
+//  1. Warm-up: the first chunks are fetched with the Buffer-Based
+//     heuristic while the client records the throughput it actually
+//     measures over the healthy link.
+//  2. Guarded streaming: a one-class SVM is fitted on those live
+//     measurements and a rate-based policy (standing in for a learned
+//     agent) takes over, wrapped in a U_S safety guard.
+//  3. Fade: the link drops from ~2.2 Mbps to ~0.25 Mbps. The guard
+//     detects that the measured throughput has left the fitted
+//     distribution and defaults back to Buffer-Based.
+//
+// Run:
+//
+//	go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"osap"
+	"osap/internal/abr"
+	"osap/internal/netem"
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+const (
+	warmupChunks = 24
+	healthySecs  = 16
+	fadeSecs     = 120
+	// clientBufferCapSec caps the playback buffer: a real client stops
+	// prefetching when the buffer is full, which keeps the session
+	// aligned with wall-clock time (and with the link trace).
+	clientBufferCapSec = 3.0
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 60 chunks of 0.5 s on a scaled-down ladder: the whole session
+	// takes ~25 s of wall-clock time.
+	video := &abr.Video{
+		Name:         "demo",
+		BitratesKbps: []float64{250, 500, 800, 1300, 2000, 3000},
+		ChunkSec:     0.5,
+		SizesBytes:   make([][]float64, 70),
+	}
+	for c := range video.SizesBytes {
+		row := make([]float64, len(video.BitratesKbps))
+		for l, kbps := range video.BitratesKbps {
+			row[l] = kbps * 1000 / 8 * video.ChunkSec
+		}
+		video.SizesBytes[c] = row
+	}
+
+	// Shaped link: healthy ~2.2 Mbps, then a deep fade to ~0.25 Mbps.
+	link := &trace.Trace{Name: "demo-link"}
+	rng := stats.NewRNG(7)
+	healthy := stats.Truncated{Base: stats.Normal{Mu: 2.2, Sigma: 0.3}, Low: 1.2, High: 4}
+	faded := stats.Truncated{Base: stats.Normal{Mu: 0.25, Sigma: 0.05}, Low: 0.1, High: 0.5}
+	for i := 0; i < healthySecs; i++ {
+		link.Mbps = append(link.Mbps, healthy.Sample(rng))
+	}
+	for i := 0; i < fadeSecs; i++ {
+		link.Mbps = append(link.Mbps, faded.Sample(rng))
+	}
+
+	srv, err := netem.StartServerBurst(video, link, 4096)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("chunk server on %s; link fades from ~2.2 to ~0.25 Mbps after %ds\n\n",
+		srv.URL, healthySecs)
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	// BB with knobs scaled to the demo's small (3 s) client buffer.
+	bb := &abr.BBPolicy{ReservoirSec: 1, CushionSec: 2, Levels: video.NumLevels()}
+	learned := abr.NewRateBasedPolicy(video.BitratesKbps) // stand-in learned policy
+	sigCfg := osap.StateSignalConfig{ThroughputWindow: 5, K: 3}
+
+	bufferSec := 0.0
+	lastLevel := -1
+	var thrHist, dlHist []float64
+	start := time.Now()
+	var guard *osap.Guard
+
+	fmt.Printf("%5s %6s %9s %9s %9s  %s\n", "chunk", "level", "thr(Mbps)", "dl(s)", "buf(s)", "mode")
+	for c := 0; c < video.NumChunks(); c++ {
+		obs := abr.BuildObservation(video, lastLevel, bufferSec, c, thrHist, dlHist)
+
+		var level int
+		var mode string
+		switch {
+		case c < warmupChunks:
+			level = argmax(bb.Probs(obs))
+			mode = "warmup (BB)"
+		default:
+			if guard == nil {
+				// Fit the detector on the live warm-up measurements and
+				// arm the guard.
+				model, err := osap.TrainOCSVM(osap.BuildStateFeatures(thrHist, sigCfg),
+					osap.OCSVMConfig{Nu: 0.1})
+				if err != nil {
+					return err
+				}
+				sig, err := osap.NewStateSignal(model, abr.LastThroughputMbps, sigCfg)
+				if err != nil {
+					return err
+				}
+				guard, err = osap.NewGuard(learned, bb, sig, osap.NewTrigger(osap.StateTriggerConfig()))
+				if err != nil {
+					return err
+				}
+				fmt.Printf("      --- detector fitted on %d live measurements; guard armed ---\n",
+					len(thrHist))
+			}
+			level = argmax(guard.Probs(obs))
+			mode = "learned"
+			if guard.SwitchStep() >= 0 {
+				mode = "DEFAULT (BB)"
+			}
+		}
+
+		res, err := netem.FetchChunk(client, srv.URL, c, level)
+		if err != nil {
+			return err
+		}
+		dl := res.Duration.Seconds()
+		if dl > bufferSec {
+			bufferSec = 0 // rebuffered
+		} else {
+			bufferSec -= dl
+		}
+		bufferSec += video.ChunkSec
+		if bufferSec > clientBufferCapSec {
+			// Buffer full: idle while playback drains it, like a real
+			// player.
+			idle := bufferSec - clientBufferCapSec
+			time.Sleep(time.Duration(idle * float64(time.Second)))
+			bufferSec = clientBufferCapSec
+		}
+		thrHist = append(thrHist, res.ThroughputMbps)
+		dlHist = append(dlHist, dl)
+		lastLevel = level
+
+		fmt.Printf("%5d %6d %9.2f %9.2f %9.2f  %s\n",
+			c, level, res.ThroughputMbps, dl, bufferSec, mode)
+	}
+	switched := -1
+	if guard != nil {
+		switched = guard.SwitchStep() + warmupChunks
+	}
+	fmt.Printf("\nstreamed %d chunks in %.1fs; guard defaulted at chunk %d\n",
+		video.NumChunks(), time.Since(start).Seconds(), switched)
+	return nil
+}
+
+func argmax(probs []float64) int {
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,3 @@
+module osap
+
+go 1.22

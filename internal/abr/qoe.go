@@ -1,0 +1,93 @@
+package abr
+
+import "math"
+
+// QoEConfig parameterizes the conventional linear QoE metric (§3.1):
+//
+//	QoE = Σ R_n − μ Σ T_n − Σ |R_{n+1} − R_n|
+//
+// with bitrates R in Mbps, rebuffering time T in seconds, μ the
+// rebuffering penalty, and the final term the bitrate-switching (jitter)
+// penalty.
+type QoEConfig struct {
+	// RebufPenaltyPerSec is μ. Pensieve's linear QoE uses 4.3 (the top
+	// ladder bitrate in Mbps).
+	RebufPenaltyPerSec float64
+	// SmoothPenaltyPerMbps scales the |ΔR| term; the paper's metric
+	// uses 1.
+	SmoothPenaltyPerMbps float64
+}
+
+// DefaultQoE returns the paper's metric parameters.
+func DefaultQoE() QoEConfig {
+	return QoEConfig{RebufPenaltyPerSec: 4.3, SmoothPenaltyPerMbps: 1}
+}
+
+// ChunkQoE returns the QoE contribution of downloading one chunk at
+// bitrateMbps after prevMbps (pass prevMbps < 0 for the first chunk,
+// which carries no switching penalty), incurring rebufSec of
+// rebuffering.
+func (c QoEConfig) ChunkQoE(bitrateMbps, prevMbps, rebufSec float64) float64 {
+	q := bitrateMbps - c.RebufPenaltyPerSec*rebufSec
+	if prevMbps >= 0 {
+		d := bitrateMbps - prevMbps
+		if d < 0 {
+			d = -d
+		}
+		q -= c.SmoothPenaltyPerMbps * d
+	}
+	return q
+}
+
+// QoEValue maps a chunk's bitrate to perceptual value. The paper's
+// metric is linear in bitrate; Pensieve's evaluation also considers
+// logarithmic and HD-step variants, provided here for the future-work
+// experiments on alternative objectives.
+type QoEValue func(bitrateMbps float64) float64
+
+// LinearValue is the identity mapping used by the paper's metric.
+func LinearValue(bitrateMbps float64) float64 { return bitrateMbps }
+
+// LogValue rewards relative improvements: value = log(R / R_min),
+// with R_min the lowest ladder rung in Mbps.
+func LogValue(minMbps float64) QoEValue {
+	return func(bitrateMbps float64) float64 {
+		if bitrateMbps <= 0 || minMbps <= 0 {
+			return 0
+		}
+		return math.Log(bitrateMbps / minMbps)
+	}
+}
+
+// HDValue rewards high-definition rungs disproportionately, as in
+// Pensieve's QoE_HD: each ladder level maps to a fixed perceptual score.
+func HDValue(ladderKbps []float64, scores []float64) QoEValue {
+	return func(bitrateMbps float64) float64 {
+		kbps := bitrateMbps * 1000
+		best := 0
+		for i, v := range ladderKbps {
+			if kbps >= v-1 { // tolerate float rounding
+				best = i
+			}
+		}
+		if best < len(scores) {
+			return scores[best]
+		}
+		return scores[len(scores)-1]
+	}
+}
+
+// GeneralChunkQoE computes one chunk's QoE under an arbitrary value
+// mapping: value(R_n) − μ·T_n − |value(R_n) − value(R_{n-1})|. With
+// LinearValue it reduces exactly to ChunkQoE.
+func (c QoEConfig) GeneralChunkQoE(value QoEValue, bitrateMbps, prevMbps, rebufSec float64) float64 {
+	q := value(bitrateMbps) - c.RebufPenaltyPerSec*rebufSec
+	if prevMbps >= 0 {
+		d := value(bitrateMbps) - value(prevMbps)
+		if d < 0 {
+			d = -d
+		}
+		q -= c.SmoothPenaltyPerMbps * d
+	}
+	return q
+}

@@ -1,0 +1,113 @@
+package abr
+
+// Pensieve's observation encoding (Mao et al., SIGCOMM '17): a 6×8
+// feature matrix, flattened channel-major so it feeds directly into
+// nn.Conv1D(channels=6, length=8). Rows:
+//
+//	0: last selected bitrate, normalized by the top ladder rung
+//	   (replicated across the row so the conv sees a constant channel)
+//	1: playback buffer in seconds / 10 (replicated)
+//	2: measured throughput of the last 8 chunks, Mbps / 10
+//	3: download time of the last 8 chunks, seconds / 10
+//	4: sizes of the next chunk at each ladder level, MB (first
+//	   NumLevels entries; rest zero)
+//	5: fraction of chunks remaining (replicated)
+//
+// Histories are zero-padded on the left at the start of an episode.
+const (
+	// HistoryLen is the per-row sequence length (S_LEN in Pensieve).
+	HistoryLen = 8
+	// NumRows is the number of feature rows (S_INFO in Pensieve).
+	NumRows = 6
+	// ObsDim is the flattened observation length.
+	ObsDim = NumRows * HistoryLen
+
+	rowLastBitrate  = 0
+	rowBuffer       = 1
+	rowThroughput   = 2
+	rowDownloadTime = 3
+	rowChunkSizes   = 4
+	rowRemain       = 5
+
+	// Normalization constants.
+	bufferNorm     = 10.0 // seconds
+	throughputNorm = 10.0 // Mbps
+	downloadNorm   = 10.0 // seconds
+	sizeNorm       = 1e6  // bytes (MB)
+)
+
+// obsIndex returns the flat index of (row, t).
+func obsIndex(row, t int) int { return row*HistoryLen + t }
+
+// BufferSecFromObs decodes the playback buffer (seconds) from an
+// observation — this is all the Buffer-Based policy needs.
+func BufferSecFromObs(obs []float64) float64 {
+	return obs[obsIndex(rowBuffer, HistoryLen-1)] * bufferNorm
+}
+
+// LastThroughputMbps decodes the most recent chunk-throughput
+// measurement (Mbps) from an observation — the signal the U_S novelty
+// detector windows over (§3.1).
+func LastThroughputMbps(obs []float64) float64 {
+	return obs[obsIndex(rowThroughput, HistoryLen-1)] * throughputNorm
+}
+
+// ThroughputHistoryMbps decodes the full 8-entry throughput history
+// (oldest first), including zero padding at episode start.
+func ThroughputHistoryMbps(obs []float64) []float64 {
+	out := make([]float64, HistoryLen)
+	for t := 0; t < HistoryLen; t++ {
+		out[t] = obs[obsIndex(rowThroughput, t)] * throughputNorm
+	}
+	return out
+}
+
+// LastBitrateMbps decodes the previously selected bitrate (Mbps) given
+// the video's ladder top.
+func LastBitrateMbps(obs []float64, maxKbps float64) float64 {
+	return obs[obsIndex(rowLastBitrate, HistoryLen-1)] * maxKbps / 1000
+}
+
+// BuildObservation constructs the Pensieve 6×8 state matrix from raw
+// session state. It is shared by the chunk-level simulator (Env) and the
+// packet-level emulated environment (netem), guaranteeing both backends
+// feed agents identically-encoded observations.
+//
+// lastLevel is -1 before the first chunk; chunk indexes the next chunk
+// to download; thrHist/dlHist are the full per-chunk histories
+// (only the last HistoryLen entries are encoded, zero-padded on the
+// left).
+func BuildObservation(v *Video, lastLevel int, bufferSec float64, chunk int, thrHist, dlHist []float64) []float64 {
+	obs := make([]float64, ObsDim)
+
+	lastKbps := 0.0
+	if lastLevel >= 0 {
+		lastKbps = v.BitratesKbps[lastLevel]
+	}
+	lastNorm := lastKbps / v.MaxBitrateKbps()
+	bufNorm := bufferSec / bufferNorm
+	remainNorm := float64(v.NumChunks()-chunk) / float64(v.NumChunks())
+	for t := 0; t < HistoryLen; t++ {
+		obs[obsIndex(rowLastBitrate, t)] = lastNorm
+		obs[obsIndex(rowBuffer, t)] = bufNorm
+		obs[obsIndex(rowRemain, t)] = remainNorm
+	}
+
+	// Histories, right-aligned (most recent at t = HistoryLen-1).
+	for i := 0; i < HistoryLen; i++ {
+		hi := len(thrHist) - HistoryLen + i
+		if hi < 0 {
+			continue
+		}
+		obs[obsIndex(rowThroughput, i)] = thrHist[hi] / throughputNorm
+		obs[obsIndex(rowDownloadTime, i)] = dlHist[hi] / downloadNorm
+	}
+
+	// Next chunk sizes (zero row at episode end).
+	if chunk < v.NumChunks() {
+		for l := 0; l < v.NumLevels() && l < HistoryLen; l++ {
+			obs[obsIndex(rowChunkSizes, l)] = v.SizesBytes[chunk][l] / sizeNorm
+		}
+	}
+	return obs
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"osap/internal/mdp"
+	"osap/internal/stats"
+)
+
+// EnsembleConfig parameterizes the trimmed-ensemble disagreement used by
+// both U_π and U_V (§3.1): from an ensemble of Size members, the Discard
+// members furthest from the ensemble mean are dropped, and disagreement
+// is computed over the survivors.
+type EnsembleConfig struct {
+	// Discard is the number of most-deviant members dropped before the
+	// disagreement is computed (the paper trains i=5 members and keeps
+	// the 3 closest, i.e. Discard=2).
+	Discard int
+}
+
+// DefaultEnsembleConfig matches the paper: keep 3 of 5.
+func DefaultEnsembleConfig() EnsembleConfig { return EnsembleConfig{Discard: 2} }
+
+// trimIndices returns the indices of members kept after discarding the
+// `discard` members with the largest distance.
+func trimIndices(dists []float64, discard int) []int {
+	n := len(dists)
+	keep := n - discard
+	if keep < 1 {
+		keep = 1
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+	kept := idx[:keep]
+	sort.Ints(kept)
+	return kept
+}
+
+// PolicySignal is U_π: disagreement among an ensemble of agents trained
+// identically except for network initialization (§2.4). The uncertainty
+// is the sum of KL divergences of the surviving members' action
+// distributions from their average.
+type PolicySignal struct {
+	Members []mdp.Policy
+	Cfg     EnsembleConfig
+}
+
+// NewPolicySignal builds the U_π signal.
+func NewPolicySignal(members []mdp.Policy, cfg EnsembleConfig) (*PolicySignal, error) {
+	if len(members) < 2 {
+		return nil, fmt.Errorf("core: PolicySignal needs ≥ 2 members, got %d", len(members))
+	}
+	if cfg.Discard < 0 || cfg.Discard >= len(members) {
+		return nil, fmt.Errorf("core: discard %d out of range for %d members", cfg.Discard, len(members))
+	}
+	return &PolicySignal{Members: members, Cfg: cfg}, nil
+}
+
+// Observe implements Signal.
+func (p *PolicySignal) Observe(obs []float64) float64 {
+	dists := make([][]float64, len(p.Members))
+	for i, m := range p.Members {
+		dists[i] = m.Probs(obs)
+	}
+	mean := stats.MeanDistribution(dists)
+
+	// Distance of each member from the ensemble mean.
+	kl := make([]float64, len(dists))
+	for i, d := range dists {
+		kl[i] = stats.KLDivergence(d, mean)
+	}
+	kept := trimIndices(kl, p.Cfg.Discard)
+
+	// Recompute the average over survivors and sum their KL distances
+	// from it.
+	surv := make([][]float64, len(kept))
+	for i, idx := range kept {
+		surv[i] = dists[idx]
+	}
+	mean = stats.MeanDistribution(surv)
+	var u float64
+	for _, d := range surv {
+		u += stats.KLDivergence(d, mean)
+	}
+	return u
+}
+
+// Reset implements Signal (U_π is stateless across steps).
+func (p *PolicySignal) Reset() {}
+
+// Name implements Signal.
+func (p *PolicySignal) Name() string { return "A-ensemble" }
+
+// ValueSignal is U_V: disagreement among an ensemble of value functions
+// trained on the deployed agent's own interaction data, differing only
+// in initialization (§2.4). The uncertainty is the total absolute
+// distance of the surviving members' value estimates from their average.
+type ValueSignal struct {
+	Members []mdp.ValueFn
+	Cfg     EnsembleConfig
+	// Normalize divides the disagreement by (1 + |mean value|), making
+	// thresholds comparable across reward scales. Disabled by default
+	// (the paper thresholds raw distances).
+	Normalize bool
+}
+
+// NewValueSignal builds the U_V signal.
+func NewValueSignal(members []mdp.ValueFn, cfg EnsembleConfig) (*ValueSignal, error) {
+	if len(members) < 2 {
+		return nil, fmt.Errorf("core: ValueSignal needs ≥ 2 members, got %d", len(members))
+	}
+	if cfg.Discard < 0 || cfg.Discard >= len(members) {
+		return nil, fmt.Errorf("core: discard %d out of range for %d members", cfg.Discard, len(members))
+	}
+	return &ValueSignal{Members: members, Cfg: cfg}, nil
+}
+
+// Observe implements Signal.
+func (v *ValueSignal) Observe(obs []float64) float64 {
+	vals := make([]float64, len(v.Members))
+	for i, m := range v.Members {
+		vals[i] = m.Value(obs)
+	}
+	mean := stats.Mean(vals)
+	dist := make([]float64, len(vals))
+	for i, x := range vals {
+		dist[i] = math.Abs(x - mean)
+	}
+	kept := trimIndices(dist, v.Cfg.Discard)
+
+	surv := make([]float64, len(kept))
+	for i, idx := range kept {
+		surv[i] = vals[idx]
+	}
+	mean = stats.Mean(surv)
+	var u float64
+	for _, x := range surv {
+		u += math.Abs(x - mean)
+	}
+	if v.Normalize {
+		u /= 1 + math.Abs(mean)
+	}
+	return u
+}
+
+// Reset implements Signal (U_V is stateless across steps).
+func (v *ValueSignal) Reset() {}
+
+// Name implements Signal.
+func (v *ValueSignal) Name() string { return "V-ensemble" }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"osap/internal/mdp"
+	"osap/internal/stats"
+)
+
+// Guard is the safety-assurance wrapper: it streams with the learned
+// policy while the uncertainty signal stays quiet and hands control to
+// the default policy when the trigger fires. It implements mdp.Policy
+// but is stateful across an episode — call Reset between episodes (the
+// EvaluateGuard helper does this).
+type Guard struct {
+	Learned mdp.Policy
+	Default mdp.Policy
+	Signal  Signal
+	Trigger Triggerer
+
+	// Episode bookkeeping.
+	steps     int
+	defaulted int
+	scores    []float64
+	record    bool
+}
+
+// NewGuard assembles a safety-enhanced policy. Any Triggerer works: the
+// paper's consecutive/windowed-variance Trigger, or the EWMA/CUSUM
+// alternatives.
+func NewGuard(learned, def mdp.Policy, sig Signal, trig Triggerer) (*Guard, error) {
+	if learned == nil || def == nil || sig == nil || trig == nil {
+		return nil, fmt.Errorf("core: NewGuard requires learned, default, signal and trigger")
+	}
+	return &Guard{Learned: learned, Default: def, Signal: sig, Trigger: trig}, nil
+}
+
+// RecordScores enables per-step score recording (for diagnostics and the
+// oodmonitor example).
+func (g *Guard) RecordScores(on bool) { g.record = on }
+
+// Probs implements mdp.Policy: evaluate the signal on the current
+// observation, advance the trigger, and delegate to the appropriate
+// policy.
+func (g *Guard) Probs(obs []float64) []float64 {
+	score := g.Signal.Observe(obs)
+	if g.record {
+		g.scores = append(g.scores, score)
+	}
+	g.steps++
+	if g.Trigger.Step(score) {
+		g.defaulted++
+		return g.Default.Probs(obs)
+	}
+	return g.Learned.Probs(obs)
+}
+
+// Reset starts a new episode.
+func (g *Guard) Reset() {
+	g.Signal.Reset()
+	g.Trigger.Reset()
+	g.steps = 0
+	g.defaulted = 0
+	g.scores = g.scores[:0]
+}
+
+// Steps returns the number of decisions made this episode.
+func (g *Guard) Steps() int { return g.steps }
+
+// DefaultedSteps returns how many decisions were delegated to the
+// default policy this episode.
+func (g *Guard) DefaultedSteps() int { return g.defaulted }
+
+// DefaultedFraction returns the fraction of decisions delegated this
+// episode (0 if no steps were taken).
+func (g *Guard) DefaultedFraction() float64 {
+	if g.steps == 0 {
+		return 0
+	}
+	return float64(g.defaulted) / float64(g.steps)
+}
+
+// SwitchStep returns the step at which the guard first defaulted, or -1.
+func (g *Guard) SwitchStep() int { return g.Trigger.FiredAtStep() }
+
+// Scores returns the recorded per-step scores (empty unless RecordScores
+// was enabled).
+func (g *Guard) Scores() []float64 { return g.scores }
+
+// EpisodeResult summarizes one guarded episode.
+type EpisodeResult struct {
+	QoE               float64
+	Steps             int
+	DefaultedSteps    int
+	SwitchStep        int // -1 if the guard never fired
+	DefaultedFraction float64
+}
+
+// EvaluateGuard runs episodes of the guarded policy, resetting the guard
+// between episodes, and returns per-episode results.
+func EvaluateGuard(env mdp.Env, g *Guard, rng *stats.RNG, episodes int) []EpisodeResult {
+	out := make([]EpisodeResult, episodes)
+	for i := range out {
+		g.Reset()
+		traj := mdp.Rollout(env, g, rng, mdp.RolloutOptions{})
+		out[i] = EpisodeResult{
+			QoE:               traj.TotalReward(),
+			Steps:             g.Steps(),
+			DefaultedSteps:    g.DefaultedSteps(),
+			SwitchStep:        g.SwitchStep(),
+			DefaultedFraction: g.DefaultedFraction(),
+		}
+	}
+	return out
+}
+
+// MeanQoE averages the QoE over episode results.
+func MeanQoE(results []EpisodeResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.QoE
+	}
+	return sum / float64(len(results))
+}

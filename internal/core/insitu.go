@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"osap/internal/ocsvm"
+)
+
+// RefittingSignalConfig parameterizes in-situ adaptation of the U_S
+// detector — the paper's future-work direction of "online safety
+// assurance when training is performed in situ" (§5): instead of a
+// detector frozen at deployment time, the OC-SVM is periodically refit
+// on recently observed, trusted data, so the notion of "in
+// distribution" tracks slow, benign drift while still flagging abrupt
+// change.
+//
+// Safety rule: samples enter the refit buffer only while the Trusted
+// callback approves — wire it to the guard's trigger ("has not
+// defaulted"), as guard.Trigger.Fired() provides. The gate is
+// deliberately trigger-level rather than per-sample: gating on each
+// sample's own inlier/outlier verdict would bank only samples near the
+// old distribution (selection bias) and the detector would never track
+// drift, while trigger-level trust admits everything during benign
+// drift (isolated flags don't reach l consecutive) and cuts off banking
+// precisely when a real change fires the trigger.
+type RefittingSignalConfig struct {
+	// State is the windowing configuration (shared with StateSignal).
+	State StateSignalConfig
+	// OCSVM parameterizes each refit.
+	OCSVM ocsvm.Config
+	// RefitEvery is the number of trusted feature vectors accumulated
+	// between refits.
+	RefitEvery int
+	// BufferSize caps the sliding buffer of trusted features; older
+	// entries fall off, which is what lets the detector track drift.
+	BufferSize int
+	// Stride banks only every Stride-th trusted feature. Consecutive
+	// windowed features overlap almost entirely; banking them all makes
+	// the refit training set highly correlated and the refit boundary
+	// erratic. 0 defaults to the summary window length (adjacent banked
+	// features then share no raw samples).
+	Stride int
+}
+
+// Validate checks the configuration.
+func (c RefittingSignalConfig) Validate() error {
+	if err := c.State.Validate(); err != nil {
+		return err
+	}
+	if c.RefitEvery < 1 {
+		return fmt.Errorf("core: RefitEvery %d < 1", c.RefitEvery)
+	}
+	if c.BufferSize < c.RefitEvery {
+		return fmt.Errorf("core: BufferSize %d < RefitEvery %d", c.BufferSize, c.RefitEvery)
+	}
+	if c.Stride < 0 {
+		return fmt.Errorf("core: Stride %d negative", c.Stride)
+	}
+	return nil
+}
+
+// RefittingSignal is a U_S variant whose OC-SVM is refit in situ.
+type RefittingSignal struct {
+	cfg     RefittingSignalConfig
+	extract func(obs []float64) float64
+	// Trusted reports whether the current step's observation may be
+	// added to the refit buffer (typically: the guard has not
+	// defaulted). If nil, every observation is trusted.
+	Trusted func() bool
+
+	model      *ocsvm.Model
+	tracker    *featureTracker
+	buffer     [][]float64
+	stride     int
+	sinceBank  int
+	sinceRefit int
+	refits     int
+}
+
+// NewRefittingSignal starts from an initial model trained offline (as in
+// the base U_S pipeline).
+func NewRefittingSignal(initial *ocsvm.Model, extract func([]float64) float64, cfg RefittingSignalConfig) (*RefittingSignal, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("core: RefittingSignal requires an initial model")
+	}
+	if extract == nil {
+		return nil, fmt.Errorf("core: RefittingSignal requires an extractor")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if initial.Dim != cfg.State.FeatureDim() {
+		return nil, fmt.Errorf("core: initial model dim %d != feature dim %d",
+			initial.Dim, cfg.State.FeatureDim())
+	}
+	stride := cfg.Stride
+	if stride == 0 {
+		stride = cfg.State.ThroughputWindow
+	}
+	return &RefittingSignal{
+		cfg:     cfg,
+		extract: extract,
+		model:   initial,
+		tracker: newFeatureTracker(cfg.State),
+		stride:  stride,
+	}, nil
+}
+
+// Observe implements Signal: classify as the base StateSignal does, and
+// bank trusted samples toward the next refit.
+func (s *RefittingSignal) Observe(obs []float64) float64 {
+	feat := s.tracker.add(s.extract(obs))
+	if feat == nil {
+		return 0
+	}
+	score := 0.0
+	if !s.model.Predict(feat) {
+		score = 1
+	}
+	trusted := s.Trusted == nil || s.Trusted()
+	if trusted {
+		s.sinceBank++
+		if s.sinceBank >= s.stride {
+			s.sinceBank = 0
+			s.buffer = append(s.buffer, feat)
+			if len(s.buffer) > s.cfg.BufferSize {
+				s.buffer = s.buffer[len(s.buffer)-s.cfg.BufferSize:]
+			}
+			s.sinceRefit++
+			if s.sinceRefit >= s.cfg.RefitEvery && len(s.buffer) >= s.cfg.RefitEvery {
+				s.refit()
+				s.sinceRefit = 0
+			}
+		}
+	}
+	return score
+}
+
+// refit trains a candidate model on the buffer and adopts it only if it
+// accepts the buffer at a rate consistent with its ν (a degenerate
+// candidate that rejects much of its own training data would start a
+// rejection spiral: nothing gets banked, adaptation stops).
+func (s *RefittingSignal) refit() {
+	m, err := ocsvm.Train(s.buffer, s.cfg.OCSVM)
+	if err != nil {
+		return // keep the previous model
+	}
+	rejected := 0
+	for _, f := range s.buffer {
+		if !m.Predict(f) {
+			rejected++
+		}
+	}
+	nu := s.cfg.OCSVM.Nu
+	if nu <= 0 {
+		nu = 0.05
+	}
+	if float64(rejected)/float64(len(s.buffer)) > 3*nu {
+		return // candidate too tight; keep the previous model
+	}
+	s.model = m
+	s.refits++
+}
+
+// Reset implements Signal. Episode boundaries clear the windowing state
+// but deliberately keep the refit buffer and the adapted model: in-situ
+// adaptation persists across sessions.
+func (s *RefittingSignal) Reset() { s.tracker.reset() }
+
+// Name implements Signal.
+func (s *RefittingSignal) Name() string { return "ND-insitu" }
+
+// Refits reports how many times the detector has been refit.
+func (s *RefittingSignal) Refits() int { return s.refits }
+
+// Model returns the current (possibly refit) detector.
+func (s *RefittingSignal) Model() *ocsvm.Model { return s.model }

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"osap/internal/ocsvm"
+	"osap/internal/stats"
+)
+
+func refittingCfg() RefittingSignalConfig {
+	return RefittingSignalConfig{
+		State:      StateSignalConfig{ThroughputWindow: 5, K: 3},
+		OCSVM:      ocsvm.Config{Nu: 0.05, MaxSamples: 400},
+		RefitEvery: 40, // banked features (every Stride-th step)
+		BufferSize: 160,
+	}
+}
+
+// initialModel fits the starting detector on the given sampler.
+func initialModel(t *testing.T, s stats.Sampler, cfg StateSignalConfig) *ocsvm.Model {
+	t.Helper()
+	rng := stats.NewRNG(500)
+	series := make([]float64, 3000)
+	for i := range series {
+		series[i] = s.Sample(rng)
+	}
+	m, err := ocsvm.Train(BuildStateFeatures(series, cfg), ocsvm.Config{Nu: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRefittingSignalValidation(t *testing.T) {
+	cfg := refittingCfg()
+	m := initialModel(t, stats.Gamma{Shape: 2, Scale: 2}, cfg.State)
+	if _, err := NewRefittingSignal(nil, extractFirst, cfg); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewRefittingSignal(m, nil, cfg); err == nil {
+		t.Error("nil extractor accepted")
+	}
+	bad := cfg
+	bad.RefitEvery = 0
+	if _, err := NewRefittingSignal(m, extractFirst, bad); err == nil {
+		t.Error("RefitEvery=0 accepted")
+	}
+	bad = cfg
+	bad.BufferSize = 10
+	if _, err := NewRefittingSignal(m, extractFirst, bad); err == nil {
+		t.Error("BufferSize < RefitEvery accepted")
+	}
+	bad = cfg
+	bad.State.K = 7 // model dim mismatch
+	if _, err := NewRefittingSignal(m, extractFirst, bad); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+// TestRefittingSignalTracksSlowDrift: a frozen detector ends up flagging
+// a slowly drifted (benign) distribution; the refitting detector adapts
+// and stays quiet.
+func TestRefittingSignalTracksSlowDrift(t *testing.T) {
+	cfg := refittingCfg()
+	base := stats.Gamma{Shape: 2, Scale: 2} // mean 4
+	m := initialModel(t, base, cfg.State)
+
+	frozen, err := NewStateSignal(m, extractFirst, cfg.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := NewRefittingSignal(m, extractFirst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drift the mean from 4 to 9 over 4000 steps.
+	rng := stats.NewRNG(7)
+	var frozenOOD, adaptiveOOD int
+	steps := 4000
+	for i := 0; i < steps; i++ {
+		shift := 5 * float64(i) / float64(steps)
+		v := base.Sample(rng) + shift
+		if frozen.Observe([]float64{v}) > 0.5 {
+			frozenOOD++
+		}
+		if adaptive.Observe([]float64{v}) > 0.5 {
+			adaptiveOOD++
+		}
+	}
+	if adaptive.Refits() == 0 {
+		t.Fatal("adaptive signal never refit")
+	}
+	if frozenOOD <= adaptiveOOD {
+		t.Errorf("frozen OOD count %d should exceed adaptive %d under slow drift",
+			frozenOOD, adaptiveOOD)
+	}
+	// The adaptive detector should treat the drifted distribution as
+	// mostly normal in the final phase.
+	tailOOD := 0
+	for i := 0; i < 200; i++ {
+		if adaptive.Observe([]float64{base.Sample(rng) + 5}) > 0.5 {
+			tailOOD++
+		}
+	}
+	if float64(tailOOD)/200 > 0.35 {
+		t.Errorf("adaptive detector still flags %d/200 after adapting", tailOOD)
+	}
+}
+
+// TestRefittingSignalStillCatchesAbruptShift: adaptation must not erase
+// sensitivity to sudden change.
+func TestRefittingSignalStillCatchesAbruptShift(t *testing.T) {
+	cfg := refittingCfg()
+	base := stats.Gamma{Shape: 2, Scale: 2}
+	m := initialModel(t, base, cfg.State)
+	adaptive, err := NewRefittingSignal(m, extractFirst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire trust to the paper's trigger, as a Guard deployment would:
+	// banking stops once the trigger fires.
+	trig := NewTrigger(StateTriggerConfig())
+	adaptive.Trusted = func() bool { return !trig.Fired() }
+	observe := func(v float64) float64 {
+		score := adaptive.Observe([]float64{v})
+		trig.Step(score)
+		return score
+	}
+
+	rng := stats.NewRNG(8)
+	// Steady phase with refits.
+	for i := 0; i < 1000; i++ {
+		observe(base.Sample(rng))
+	}
+	refitsBefore := adaptive.Refits()
+	// Abrupt regime change: flagged, trigger fires, banking stops.
+	ood := 0
+	n := 200
+	for i := 0; i < n; i++ {
+		if observe(15+0.2*rng.NormFloat64()) > 0.5 {
+			ood++
+		}
+	}
+	if float64(ood)/float64(n) < 0.7 {
+		t.Errorf("adaptive detector missed an abrupt shift: %d/%d", ood, n)
+	}
+	if !trig.Fired() {
+		t.Fatal("trigger did not fire on the abrupt shift")
+	}
+	if adaptive.Refits() > refitsBefore {
+		t.Error("detector refit on anomalous data after the trigger fired")
+	}
+}
+
+// TestRefittingSignalRespectsTrusted: samples observed while untrusted
+// (guard defaulted) must not enter the refit buffer.
+func TestRefittingSignalRespectsTrusted(t *testing.T) {
+	cfg := refittingCfg()
+	base := stats.Uniform{Low: 3, High: 5}
+	m := initialModel(t, base, cfg.State)
+	adaptive, err := NewRefittingSignal(m, extractFirst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted := false
+	adaptive.Trusted = func() bool { return trusted }
+
+	rng := stats.NewRNG(9)
+	// Untrusted phase on in-distribution data: even inlier samples may
+	// not be banked, so no refit.
+	for i := 0; i < 500; i++ {
+		adaptive.Observe([]float64{base.Sample(rng)})
+	}
+	if adaptive.Refits() != 0 {
+		t.Fatalf("refit happened on untrusted data (%d refits)", adaptive.Refits())
+	}
+	// A later anomaly is flagged (nothing was learned while untrusted).
+	for i := 0; i < 10; i++ {
+		adaptive.Observe([]float64{50 + rng.NormFloat64()})
+	}
+	// The anomaly is still flagged afterwards.
+	if s := adaptive.Observe([]float64{50}); s < 0.5 {
+		t.Error("anomaly no longer flagged — detector contaminated")
+	}
+	// Trusted in-distribution phase: refits resume.
+	trusted = true
+	for i := 0; i < 500; i++ {
+		adaptive.Observe([]float64{base.Sample(rng)})
+	}
+	if adaptive.Refits() == 0 {
+		t.Error("no refit despite trusted in-distribution data")
+	}
+}
+
+func TestRefittingSignalResetKeepsAdaptation(t *testing.T) {
+	cfg := refittingCfg()
+	base := stats.Gamma{Shape: 2, Scale: 2}
+	m := initialModel(t, base, cfg.State)
+	adaptive, err := NewRefittingSignal(m, extractFirst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(10)
+	for i := 0; i < 400; i++ {
+		adaptive.Observe([]float64{base.Sample(rng)})
+	}
+	refits := adaptive.Refits()
+	model := adaptive.Model()
+	adaptive.Reset()
+	if adaptive.Refits() != refits || adaptive.Model() != model {
+		t.Error("Reset discarded the adapted model")
+	}
+	if adaptive.Name() != "ND-insitu" {
+		t.Errorf("Name = %q", adaptive.Name())
+	}
+}

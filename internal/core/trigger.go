@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"osap/internal/stats"
+)
+
+// TriggerConfig turns a stream of raw uncertainty scores into the
+// decision to default, using the paper's two noise-robustness ideas
+// (§2.5): smoothing over sequences of data points, and requiring L
+// consecutive uncertain steps.
+type TriggerConfig struct {
+	// UseVariance selects the continuous-signal rule used for U_π and
+	// U_V: the variance of the score across the last K steps must
+	// exceed Threshold. When false (the U_S rule), a step is uncertain
+	// when the raw score exceeds Threshold directly (scores are 0/1, so
+	// Threshold 0.5 means "classified OOD").
+	UseVariance bool
+	// K is the smoothing window for the variance rule (paper: 5).
+	K int
+	// Threshold is α, the uncertainty bar.
+	Threshold float64
+	// L is the number of consecutive uncertain steps before defaulting
+	// (paper: 3).
+	L int
+	// Latched keeps the system on the default policy for the rest of
+	// the episode once triggered, which is the paper's behavior. When
+	// false, the system returns to the learned policy as soon as the
+	// uncertain streak breaks (an extension explored in the ablations).
+	Latched bool
+}
+
+// StateTriggerConfig returns the paper's U_S trigger: default after
+// L=3 consecutive OOD classifications.
+func StateTriggerConfig() TriggerConfig {
+	return TriggerConfig{UseVariance: false, Threshold: 0.5, L: 3, Latched: true}
+}
+
+// VarianceTriggerConfig returns the paper's U_π/U_V trigger shape:
+// variance over the last K=5 scores exceeding α for L consecutive steps.
+// α is set by calibration (Calibrate).
+func VarianceTriggerConfig(alpha float64, l int) TriggerConfig {
+	return TriggerConfig{UseVariance: true, K: 5, Threshold: alpha, L: l, Latched: true}
+}
+
+// Validate checks the configuration.
+func (c TriggerConfig) Validate() error {
+	if c.L < 1 {
+		return fmt.Errorf("core: trigger L %d < 1", c.L)
+	}
+	if c.UseVariance && c.K < 2 {
+		return fmt.Errorf("core: variance trigger needs K ≥ 2, got %d", c.K)
+	}
+	return nil
+}
+
+// Trigger is the per-episode state machine applying a TriggerConfig.
+type Trigger struct {
+	cfg    TriggerConfig
+	win    *stats.RollingWindow
+	streak int
+	fired  bool
+	steps  int
+	// FiredAt is the step index at which the trigger first fired (-1 if
+	// it has not).
+	FiredAt int
+}
+
+// NewTrigger builds a trigger; it panics on an invalid configuration
+// (construction-time programmer error).
+func NewTrigger(cfg TriggerConfig) *Trigger {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Trigger{cfg: cfg, FiredAt: -1}
+	if cfg.UseVariance {
+		t.win = stats.NewRollingWindow(cfg.K)
+	}
+	return t
+}
+
+// Step ingests one uncertainty score and reports whether the system
+// should use the default policy for this step.
+func (t *Trigger) Step(score float64) bool {
+	uncertain := false
+	if t.cfg.UseVariance {
+		t.win.Add(score)
+		uncertain = t.win.Full() && t.win.Variance() > t.cfg.Threshold
+	} else {
+		uncertain = score > t.cfg.Threshold
+	}
+	if uncertain {
+		t.streak++
+	} else {
+		t.streak = 0
+	}
+	active := t.streak >= t.cfg.L
+	if active && !t.fired {
+		t.fired = true
+		t.FiredAt = t.steps
+	}
+	t.steps++
+	if t.cfg.Latched {
+		return t.fired
+	}
+	return active
+}
+
+// Fired reports whether the trigger has fired at least once this
+// episode.
+func (t *Trigger) Fired() bool { return t.fired }
+
+// Reset starts a new episode.
+func (t *Trigger) Reset() {
+	t.streak = 0
+	t.fired = false
+	t.steps = 0
+	t.FiredAt = -1
+	if t.win != nil {
+		t.win.Reset()
+	}
+}

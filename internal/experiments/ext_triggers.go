@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"osap/internal/abr"
+	"osap/internal/core"
+	"osap/internal/mdp"
+	"osap/internal/rl"
+	"osap/internal/stats"
+)
+
+// TriggerStrategyNames lists the thresholding strategies compared by
+// ExtensionTriggers: the paper's windowed-variance + l-consecutive rule,
+// an EWMA level test, and a CUSUM change detector.
+func TriggerStrategyNames() []string { return []string{"Variance", "EWMA", "CUSUM"} }
+
+// ExtensionTriggersResult compares thresholding strategies on the U_V
+// signal across OOD pairs.
+type ExtensionTriggersResult struct {
+	TrainDataset string
+	// Norm[strategy][test] is the guarded normalized score.
+	Norm  map[string]map[string]float64
+	Tests []string
+	// Params records each strategy's calibrated parameter.
+	Params map[string]float64
+}
+
+// collectSignalScores runs the deployed agent on validation traces and
+// records the given signal's per-step scores.
+func (l *Lab) collectSignalScores(a *Artifacts, sig core.Signal, episodes int, seed uint64) []float64 {
+	d, err := l.Dataset(a.Dataset)
+	if err != nil {
+		panic(err) // artifacts always carry a known dataset
+	}
+	env := l.newEnv(l.cfg.EvalVideo, d.Val)
+	rng := stats.NewRNG(seed)
+	var scores []float64
+	policy := rl.GreedyPolicy{P: a.Agents[0]}
+	for ep := 0; ep < episodes; ep++ {
+		sig.Reset()
+		mdp.Rollout(env, policy, rng, mdp.RolloutOptions{
+			OnStep: func(_ int, tr mdp.Transition) {
+				scores = append(scores, sig.Observe(tr.Obs))
+			},
+		})
+	}
+	return scores
+}
+
+// ExtensionTriggers calibrates each thresholding strategy on the U_V
+// signal to ND's in-distribution QoE (the paper's fair-comparison rule)
+// and evaluates it across the OOD test datasets.
+func (l *Lab) ExtensionTriggers(trainDS string) (*ExtensionTriggersResult, error) {
+	a, err := l.Artifacts(trainDS)
+	if err != nil {
+		return nil, err
+	}
+	d, err := l.Dataset(trainDS)
+	if err != nil {
+		return nil, err
+	}
+	seed := l.cfg.Seed ^ hashString(trainDS) ^ 0x7716
+
+	newSignal := func() (core.Signal, error) {
+		return core.NewValueSignal(rl.ValueEnsemble(a.ValueNets), l.cfg.Trim)
+	}
+
+	// In-distribution U_V scores for the CUSUM reference.
+	refSig, err := newSignal()
+	if err != nil {
+		return nil, err
+	}
+	inScores := l.collectSignalScores(a, refSig, l.cfg.CalibEpisodes, seed)
+
+	// Guard builders per strategy, parameterized by the calibration
+	// knob.
+	builders := map[string]func(param float64) (*core.Guard, error){
+		"Variance": func(alpha float64) (*core.Guard, error) {
+			sig, err := newSignal()
+			if err != nil {
+				return nil, err
+			}
+			return core.NewGuard(rl.GreedyPolicy{P: a.Agents[0]},
+				abr.NewBBPolicy(l.cfg.EvalVideo.NumLevels()), sig,
+				core.NewTrigger(core.VarianceTriggerConfig(alpha, l.cfg.TriggerL)))
+		},
+		"EWMA": func(threshold float64) (*core.Guard, error) {
+			sig, err := newSignal()
+			if err != nil {
+				return nil, err
+			}
+			return core.NewGuard(rl.GreedyPolicy{P: a.Agents[0]},
+				abr.NewBBPolicy(l.cfg.EvalVideo.NumLevels()), sig,
+				core.NewEWMATrigger(core.EWMATriggerConfig{
+					Alpha: 0.2, Threshold: threshold, Warmup: 5, Latched: true,
+				}))
+		},
+		"CUSUM": func(hSigmas float64) (*core.Guard, error) {
+			sig, err := newSignal()
+			if err != nil {
+				return nil, err
+			}
+			return core.NewGuard(rl.GreedyPolicy{P: a.Agents[0]},
+				abr.NewBBPolicy(l.cfg.EvalVideo.NumLevels()), sig,
+				core.NewCUSUMTrigger(core.CalibrateCUSUM(inScores, hSigmas, true)))
+		},
+	}
+
+	res := &ExtensionTriggersResult{
+		TrainDataset: trainDS,
+		Norm:         map[string]map[string]float64{},
+		Params:       map[string]float64{},
+	}
+	for _, te := range datasetOrder() {
+		if te != trainDS {
+			res.Tests = append(res.Tests, te)
+		}
+	}
+
+	for _, strategy := range TriggerStrategyNames() {
+		build := builders[strategy]
+		calib, err := core.Calibrate(func(param float64) float64 {
+			g, err := build(param)
+			if err != nil {
+				panic(err)
+			}
+			env := l.newEnv(l.cfg.EvalVideo, d.Val)
+			return core.MeanQoE(core.EvaluateGuard(env, g, stats.NewRNG(seed^1), l.cfg.CalibEpisodes))
+		}, a.NDValQoE, 1e-6, 1e4, l.cfg.CalibIters)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: calibrate %s trigger: %w", strategy, err)
+		}
+		res.Params[strategy] = calib.Threshold
+
+		res.Norm[strategy] = map[string]float64{}
+		for _, te := range res.Tests {
+			base, err := l.EvaluatePair(trainDS, te)
+			if err != nil {
+				return nil, err
+			}
+			dt, err := l.Dataset(te)
+			if err != nil {
+				return nil, err
+			}
+			g, err := build(calib.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			env := l.newEnv(l.cfg.EvalVideo, dt.Test)
+			rng := stats.NewRNG(l.cfg.Seed ^ hashString(trainDS+"→"+te+"/trig/"+strategy))
+			qoe := core.MeanQoE(core.EvaluateGuard(env, g, rng, l.cfg.EvalEpisodes))
+			res.Norm[strategy][te] = Normalize(qoe, base[SchemeRandom], base[SchemeBB])
+		}
+	}
+	return res, nil
+}
+
+// Render formats the extension as a text table.
+func (r *ExtensionTriggersResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: thresholding strategies on the U_V signal (train = %s)\n", r.TrainDataset)
+	fmt.Fprintf(&b, "%-12s%10s", "strategy", "param")
+	for _, te := range r.Tests {
+		fmt.Fprintf(&b, "%12s", te)
+	}
+	b.WriteByte('\n')
+	for _, s := range TriggerStrategyNames() {
+		fmt.Fprintf(&b, "%-12s%10.3g", s, r.Params[s])
+		for _, te := range r.Tests {
+			fmt.Fprintf(&b, "%12.2f", r.Norm[s][te])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionDefaults(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.ExtensionDefaults("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tests) != 5 {
+		t.Fatalf("tests = %v", res.Tests)
+	}
+	for _, def := range DefaultPolicyNames() {
+		if len(res.Norm[def]) != 5 || len(res.RawDefault[def]) != 5 {
+			t.Fatalf("default %s has incomplete results", def)
+		}
+	}
+	// BB's bare normalized score is ~1 (it is the normalization anchor;
+	// the bare run uses different episode seeds, so allow sampling
+	// noise).
+	for te, v := range res.RawDefault["BB"] {
+		if v < 0.8 || v > 1.2 {
+			t.Errorf("bare BB on %s normalized to %v, want ~1", te, v)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"BOLA", "MPC", "guard→BB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestExtensionSignals(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.ExtensionSignals("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AlphaRND <= 0 {
+		t.Errorf("RND threshold not calibrated: %v", res.AlphaRND)
+	}
+	if len(res.Tests) != 5 {
+		t.Fatalf("tests = %v", res.Tests)
+	}
+	for _, s := range []string{"ND", "RND", "Pensieve"} {
+		if len(res.Norm[s]) != 5 {
+			t.Fatalf("signal %s incomplete", s)
+		}
+	}
+	if !strings.Contains(res.Render(), "distillation") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRNDArtifactsCached(t *testing.T) {
+	l := quickLab(t)
+	a, err := l.rndArtifacts("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.rndArtifacts("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("RND artifacts not cached")
+	}
+}
+
+func TestDefaultPolicyUnknown(t *testing.T) {
+	l := quickLab(t)
+	if _, err := l.defaultPolicy("nope"); err == nil {
+		t.Error("unknown default accepted")
+	}
+}
+
+func TestExtensionTriggers(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.ExtensionTriggers("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tests) != 5 {
+		t.Fatalf("tests = %v", res.Tests)
+	}
+	for _, s := range TriggerStrategyNames() {
+		if res.Params[s] <= 0 {
+			t.Errorf("strategy %s not calibrated: %v", s, res.Params[s])
+		}
+		if len(res.Norm[s]) != 5 {
+			t.Errorf("strategy %s incomplete", s)
+		}
+	}
+	if !strings.Contains(res.Render(), "CUSUM") {
+		t.Error("render missing CUSUM row")
+	}
+}
+
+func TestOracleHeadroom(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.OracleHeadroom("gamma22", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tests) != 6 {
+		t.Fatalf("tests = %v", res.Tests)
+	}
+	for _, te := range res.Tests {
+		if res.OracleQoE[te] <= 0 {
+			t.Errorf("oracle QoE on %s = %v, want positive", te, res.OracleQoE[te])
+		}
+		// No online scheme may exceed the offline optimum by more than
+		// sampling noise (different trace offsets between oracle and
+		// online evaluation).
+		for s, fr := range map[string]float64{
+			"BB": res.Fraction[SchemeBB][te],
+			"ND": res.Fraction[SchemeND][te],
+		} {
+			if fr > 1.3 {
+				t.Errorf("%s on %s reaches %.2f of oracle — implausible", s, te, fr)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "oracle QoE") {
+		t.Error("render missing oracle row")
+	}
+}

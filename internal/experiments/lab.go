@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"osap/internal/abr"
+	"osap/internal/core"
+	"osap/internal/mdp"
+	"osap/internal/nn"
+	"osap/internal/ocsvm"
+	"osap/internal/rl"
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+// Artifacts holds everything trained for one training distribution: the
+// agent ensemble (member 0 is the deployed Pensieve), the external
+// value-function ensemble, the OC-SVM novelty detector, and the
+// calibrated U_π/U_V thresholds.
+type Artifacts struct {
+	Dataset   string
+	Agents    []*rl.ActorCritic
+	ValueNets []*nn.Network
+	OCSVM     *ocsvm.Model
+	// NDValQoE is the ND-guarded system's mean QoE on the validation
+	// traces — the calibration target for the other two schemes (§2.5).
+	NDValQoE float64
+	// AlphaPi and AlphaV are the calibrated variance thresholds.
+	AlphaPi float64
+	AlphaV  float64
+}
+
+// Lab owns the datasets and a cache of per-dataset artifacts and
+// per-pair evaluations. Training is performed lazily on first use.
+// Lab is safe for concurrent use.
+type Lab struct {
+	cfg      Config
+	datasets map[string]*trace.Dataset
+
+	mu        sync.Mutex
+	artifacts map[string]*Artifacts
+	pairs     map[string]map[string]float64 // "train→test" → scheme → mean QoE
+	rnd       map[string]*rl.RND            // extension: RND novelty models
+	// Progress, if non-nil, receives human-readable progress lines.
+	Progress func(string)
+}
+
+// NewLab validates the config and generates the datasets.
+func NewLab(cfg Config) (*Lab, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := trace.BuildRegistry(cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{
+		cfg:       cfg,
+		datasets:  ds,
+		artifacts: make(map[string]*Artifacts),
+		pairs:     make(map[string]map[string]float64),
+	}, nil
+}
+
+// Config returns the lab configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// Dataset returns a generated dataset by name.
+func (l *Lab) Dataset(name string) (*trace.Dataset, error) {
+	d, ok := l.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+func (l *Lab) logf(format string, args ...any) {
+	if l.Progress != nil {
+		l.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// envFactory builds environment factories over a trace pool.
+func (l *Lab) envFactory(video *abr.Video, traces []*trace.Trace) rl.EnvFactory {
+	return func() mdp.Env {
+		cfg := abr.DefaultEnvConfig(video, traces)
+		env, err := abr.NewEnv(cfg)
+		if err != nil {
+			panic(err) // config validated at Lab construction
+		}
+		return env
+	}
+}
+
+// newEnv builds a single evaluation environment.
+func (l *Lab) newEnv(video *abr.Video, traces []*trace.Trace) *abr.Env {
+	cfg := abr.DefaultEnvConfig(video, traces)
+	env, err := abr.NewEnv(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// Artifacts trains (or returns cached) artifacts for a training
+// dataset.
+func (l *Lab) Artifacts(dataset string) (*Artifacts, error) {
+	l.mu.Lock()
+	if a, ok := l.artifacts[dataset]; ok {
+		l.mu.Unlock()
+		return a, nil
+	}
+	l.mu.Unlock()
+
+	a, err := l.train(dataset)
+	if err != nil {
+		return nil, err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.artifacts[dataset]; ok {
+		return prev, nil // lost a benign race; keep the first
+	}
+	l.artifacts[dataset] = a
+	return a, nil
+}
+
+// train runs the full per-dataset pipeline.
+func (l *Lab) train(dataset string) (*Artifacts, error) {
+	d, err := l.Dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	seed := l.cfg.Seed ^ hashString(dataset)
+	factory := l.envFactory(l.cfg.TrainVideo, d.Train)
+
+	// 1. Agent ensemble (member 0 deployed).
+	l.logf("[%s] training %d-agent ensemble (%d epochs each)", dataset, l.cfg.EnsembleSize, l.cfg.Train.Epochs)
+	trainCfg := l.cfg.Train
+	trainCfg.Seed = seed
+	agents, err := rl.TrainEnsemble(factory, trainCfg, l.cfg.EnsembleSize)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: agent ensemble: %w", dataset, err)
+	}
+	if l.cfg.SelectBestAgent {
+		l.selectBestAgent(agents, d, seed)
+	}
+	deployed := rl.GreedyPolicy{P: agents[0]}
+
+	// 2. Value-function ensemble, trained on the deployed agent's own
+	// interaction data (§2.4).
+	l.logf("[%s] training %d-member value ensemble", dataset, l.cfg.EnsembleSize)
+	valueCfg := l.cfg.Value
+	valueCfg.Net = l.cfg.Train.Net
+	valueCfg.Gamma = l.cfg.Train.Gamma
+	valueCfg.Seed = seed ^ 0xBEEF
+	valueCfg.InitSeed = seed ^ 0xFACE
+	valueNets, err := rl.TrainValueEnsemble(factory, agents[0], valueCfg, l.cfg.EnsembleSize)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: value ensemble: %w", dataset, err)
+	}
+
+	// 3. OC-SVM on windowed throughput features of the deployed agent's
+	// training-trace rollouts.
+	l.logf("[%s] training OC-SVM novelty detector", dataset)
+	stateCfg := l.cfg.stateCfgFor(dataset)
+	feats := l.collectStateFeatures(d, deployed, stateCfg, seed)
+	ocsvmCfg := l.cfg.OCSVM
+	ocsvmCfg.Seed = seed
+	model, err := ocsvm.Train(feats, ocsvmCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: ocsvm: %w", dataset, err)
+	}
+
+	a := &Artifacts{
+		Dataset:   dataset,
+		Agents:    agents,
+		ValueNets: valueNets,
+		OCSVM:     model,
+	}
+
+	// 4. ND's validation QoE is the calibration target.
+	ndGuard, err := l.buildGuard(a, SchemeND, 0)
+	if err != nil {
+		return nil, err
+	}
+	valEnv := l.newEnv(l.cfg.EvalVideo, d.Val)
+	rng := stats.NewRNG(seed ^ 0xCA11B)
+	a.NDValQoE = core.MeanQoE(core.EvaluateGuard(valEnv, ndGuard, rng, l.cfg.CalibEpisodes))
+	l.logf("[%s] ND validation QoE = %.2f (calibration target)", dataset, a.NDValQoE)
+
+	// 5. Calibrate α for U_π and U_V to match ND in-distribution (§2.5).
+	calibrate := func(scheme string) (float64, error) {
+		res, err := core.Calibrate(func(alpha float64) float64 {
+			g, err := l.buildGuard(a, scheme, alpha)
+			if err != nil {
+				panic(err) // inputs fixed; cannot fail after first success
+			}
+			env := l.newEnv(l.cfg.EvalVideo, d.Val)
+			r := stats.NewRNG(seed ^ 0xCA11B)
+			return core.MeanQoE(core.EvaluateGuard(env, g, r, l.cfg.CalibEpisodes))
+		}, a.NDValQoE, 1e-6, 1e2, l.cfg.CalibIters)
+		if err != nil {
+			return 0, err
+		}
+		return res.Threshold, nil
+	}
+	if a.AlphaPi, err = calibrate(SchemeAEns); err != nil {
+		return nil, fmt.Errorf("experiments: %s: calibrate U_pi: %w", dataset, err)
+	}
+	if a.AlphaV, err = calibrate(SchemeVEns); err != nil {
+		return nil, fmt.Errorf("experiments: %s: calibrate U_V: %w", dataset, err)
+	}
+	l.logf("[%s] calibrated thresholds: alpha_pi=%.3g alpha_V=%.3g", dataset, a.AlphaPi, a.AlphaV)
+	return a, nil
+}
+
+// selectBestAgent reorders the ensemble so that the member with the
+// best greedy validation QoE sits at index 0 (the deployed slot). The
+// ensemble membership itself is unchanged, so U_π still sees all
+// members.
+func (l *Lab) selectBestAgent(agents []*rl.ActorCritic, d *trace.Dataset, seed uint64) {
+	best, bestQoE := 0, math.Inf(-1)
+	for i, a := range agents {
+		env := l.newEnv(l.cfg.EvalVideo, d.Val)
+		rng := stats.NewRNG(seed ^ 0xBE57)
+		qoe := stats.Mean(abr.EvaluatePolicy(env, rl.GreedyPolicy{P: a}, rng, l.cfg.CalibEpisodes))
+		if qoe > bestQoE {
+			best, bestQoE = i, qoe
+		}
+	}
+	agents[0], agents[best] = agents[best], agents[0]
+	l.logf("[%s] deploying ensemble member %d (val QoE %.2f)", d.Name, best, bestQoE)
+}
+
+// collectStateFeatures rolls the deployed policy over training traces
+// and extracts the U_S training features from the measured per-chunk
+// throughputs.
+func (l *Lab) collectStateFeatures(d *trace.Dataset, policy mdp.Policy, stateCfg core.StateSignalConfig, seed uint64) [][]float64 {
+	env := l.newEnv(l.cfg.TrainVideo, d.Train)
+	rng := stats.NewRNG(seed ^ 0x0C57)
+	var feats [][]float64
+	for ep := 0; ep < l.cfg.OCSVMEpisodes; ep++ {
+		var thr []float64
+		mdp.Rollout(env, policy, rng, mdp.RolloutOptions{
+			OnStep: func(_ int, tr mdp.Transition) {
+				// The throughput measured for the downloaded chunk is
+				// part of the *next* observation; reconstruct it from
+				// the env's last chunk record.
+				thr = append(thr, env.LastChunk().ThroughputMbps)
+			},
+		})
+		feats = append(feats, core.BuildStateFeatures(thr, stateCfg)...)
+	}
+	return feats
+}
+
+// buildGuard assembles the safety-enhanced policy for a scheme. alpha is
+// only used by the variance-triggered schemes (pass the calibrated value
+// or a candidate during calibration).
+func (l *Lab) buildGuard(a *Artifacts, scheme string, alpha float64) (*core.Guard, error) {
+	learned := rl.GreedyPolicy{P: a.Agents[0]}
+	def := abr.NewBBPolicy(l.cfg.EvalVideo.NumLevels())
+
+	var sig core.Signal
+	var trig *core.Trigger
+	switch scheme {
+	case SchemeND:
+		stateCfg := l.cfg.stateCfgFor(a.Dataset)
+		s, err := core.NewStateSignal(a.OCSVM, abr.LastThroughputMbps, stateCfg)
+		if err != nil {
+			return nil, err
+		}
+		sig = s
+		tc := core.StateTriggerConfig()
+		tc.L = l.cfg.TriggerL
+		trig = core.NewTrigger(tc)
+	case SchemeAEns:
+		s, err := core.NewPolicySignal(rl.PolicyEnsemble(a.Agents), l.cfg.Trim)
+		if err != nil {
+			return nil, err
+		}
+		sig = s
+		trig = core.NewTrigger(core.VarianceTriggerConfig(alpha, l.cfg.TriggerL))
+	case SchemeVEns:
+		s, err := core.NewValueSignal(rl.ValueEnsemble(a.ValueNets), l.cfg.Trim)
+		if err != nil {
+			return nil, err
+		}
+		sig = s
+		trig = core.NewTrigger(core.VarianceTriggerConfig(alpha, l.cfg.TriggerL))
+	default:
+		return nil, fmt.Errorf("experiments: %q is not a guard scheme", scheme)
+	}
+	return core.NewGuard(learned, def, sig, trig)
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"osap/internal/nn"
+	"osap/internal/ocsvm"
+	"osap/internal/rl"
+)
+
+// artifactsJSON is the on-disk form of a training run's outputs.
+type artifactsJSON struct {
+	Dataset   string            `json:"dataset"`
+	Agents    []*rl.ActorCritic `json:"agents"`
+	ValueNets []json.RawMessage `json:"value_nets"`
+	OCSVM     *ocsvm.Model      `json:"ocsvm"`
+	NDValQoE  float64           `json:"nd_val_qoe"`
+	AlphaPi   float64           `json:"alpha_pi"`
+	AlphaV    float64           `json:"alpha_v"`
+}
+
+// SaveArtifacts writes trained artifacts to <dir>/<dataset>.json.
+func SaveArtifacts(dir string, a *Artifacts) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: save artifacts: %w", err)
+	}
+	vj := make([]json.RawMessage, len(a.ValueNets))
+	for i, v := range a.ValueNets {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return "", fmt.Errorf("experiments: marshal value net %d: %w", i, err)
+		}
+		vj[i] = raw
+	}
+	data, err := json.Marshal(artifactsJSON{
+		Dataset:   a.Dataset,
+		Agents:    a.Agents,
+		ValueNets: vj,
+		OCSVM:     a.OCSVM,
+		NDValQoE:  a.NDValQoE,
+		AlphaPi:   a.AlphaPi,
+		AlphaV:    a.AlphaV,
+	})
+	if err != nil {
+		return "", fmt.Errorf("experiments: marshal artifacts: %w", err)
+	}
+	path := filepath.Join(dir, a.Dataset+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("experiments: write artifacts: %w", err)
+	}
+	return path, nil
+}
+
+// LoadArtifacts reads artifacts saved by SaveArtifacts.
+func LoadArtifacts(path string) (*Artifacts, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: load artifacts: %w", err)
+	}
+	var raw artifactsJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("experiments: decode artifacts %s: %w", path, err)
+	}
+	if len(raw.Agents) == 0 || raw.OCSVM == nil {
+		return nil, fmt.Errorf("experiments: artifacts %s incomplete", path)
+	}
+	nets := make([]*nn.Network, len(raw.ValueNets))
+	for i, vj := range raw.ValueNets {
+		var net nn.Network
+		if err := json.Unmarshal(vj, &net); err != nil {
+			return nil, fmt.Errorf("experiments: decode value net %d: %w", i, err)
+		}
+		nets[i] = &net
+	}
+	return &Artifacts{
+		Dataset:   raw.Dataset,
+		Agents:    raw.Agents,
+		ValueNets: nets,
+		OCSVM:     raw.OCSVM,
+		NDValQoE:  raw.NDValQoE,
+		AlphaPi:   raw.AlphaPi,
+		AlphaV:    raw.AlphaV,
+	}, nil
+}
+
+// InstallArtifacts places pre-trained artifacts into the lab cache (e.g.
+// loaded from disk by cmd/osap-eval), bypassing training.
+func (l *Lab) InstallArtifacts(a *Artifacts) error {
+	if _, err := l.Dataset(a.Dataset); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.artifacts[a.Dataset] = a
+	return nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadArtifactsRoundTrip(t *testing.T) {
+	l := quickLab(t)
+	a, err := l.Artifacts("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := SaveArtifacts(dir, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "gamma22.json" {
+		t.Errorf("artifact path = %s", path)
+	}
+	back, err := LoadArtifacts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dataset != a.Dataset || back.AlphaPi != a.AlphaPi || back.AlphaV != a.AlphaV {
+		t.Error("metadata changed in round trip")
+	}
+	if len(back.Agents) != len(a.Agents) || len(back.ValueNets) != len(a.ValueNets) {
+		t.Fatal("ensemble sizes changed in round trip")
+	}
+	// Behavioral equality: same probs and values on a probe obs.
+	obs := make([]float64, a.Agents[0].Cfg.ObsDim())
+	obs[0] = 0.5
+	for i := range a.Agents {
+		pa, pb := a.Agents[i].Probs(obs), back.Agents[i].Probs(obs)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatal("agent probs changed in round trip")
+			}
+		}
+	}
+	for i := range a.ValueNets {
+		if a.ValueNets[i].Forward(obs)[0] != back.ValueNets[i].Forward(obs)[0] {
+			t.Fatal("value net output changed in round trip")
+		}
+	}
+	if a.OCSVM.Rho != back.OCSVM.Rho || a.OCSVM.NumSVs() != back.OCSVM.NumSVs() {
+		t.Fatal("OC-SVM changed in round trip")
+	}
+}
+
+func TestLoadArtifactsErrors(t *testing.T) {
+	if _, err := LoadArtifacts("/nonexistent/x.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifacts(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifacts(empty); err == nil {
+		t.Error("incomplete artifacts accepted")
+	}
+}
+
+func TestInstallArtifactsBypassesTraining(t *testing.T) {
+	l := quickLab(t)
+	a, err := l.Artifacts("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewLab(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.InstallArtifacts(a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.Artifacts("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Error("installed artifacts not returned")
+	}
+	// Unknown dataset rejected.
+	bogus := *a
+	bogus.Dataset = "nope"
+	if err := fresh.InstallArtifacts(&bogus); err == nil {
+		t.Error("unknown dataset installed")
+	}
+}
+
+// TestFullGridQuick is the package's big integration test: it runs every
+// figure at quick scale and sanity-checks structural invariants (not the
+// paper's quantitative shape, which needs paper-scale training).
+func TestFullGridQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid in -short mode")
+	}
+	l := quickLab(t)
+
+	f1, err := l.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Rows) != 6 {
+		t.Fatalf("figure 1 rows = %d", len(f1.Rows))
+	}
+
+	f3, err := l.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range f3.Order {
+		for _, te := range f3.Order {
+			if _, ok := f3.Score[tr][te]; !ok {
+				t.Fatalf("figure 3 missing %s→%s", tr, te)
+			}
+		}
+	}
+
+	f4, err := l.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ood4Schemes() {
+		st := f4.Stats[s]
+		if st.N != 30 {
+			t.Fatalf("figure 4 %s over %d pairs, want 30", s, st.N)
+		}
+		if st.Min > st.Median || st.Median > st.Max {
+			t.Fatalf("figure 4 %s stats unordered: %+v", s, st)
+		}
+	}
+
+	f5, err := l.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ood4Schemes() {
+		cdf := f5.CDFs[s]
+		if cdf.N() != 30 {
+			t.Fatalf("figure 5 %s has %d samples", s, cdf.N())
+		}
+		if cdf.At(-1e9) != 0 || cdf.At(1e9) != 1 {
+			t.Fatalf("figure 5 %s CDF not normalized", s)
+		}
+	}
+
+	// Renderers produce non-empty output for everything.
+	for _, out := range []string{f1.Render(), f3.Render(), f4.Render(), f5.Render()} {
+		if len(out) < 50 {
+			t.Fatal("renderer output too short")
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package nn is a small, dependency-free neural-network library with full
+// backpropagation, written for the actor-critic agents in this
+// repository. It supports dense and 1-D convolutional layers (the two
+// layer types in Pensieve's architecture), ReLU/Tanh/Softmax
+// nonlinearities, He/Xavier initialization, SGD/RMSProp/Adam optimizers
+// with gradient clipping, and JSON serialization of trained models.
+//
+// Design notes: networks are feed-forward chains. Forward is pure with
+// respect to the network (activations are allocated per call), so a
+// trained network can serve concurrent inference from multiple
+// goroutines. Training (ForwardTape/BackwardTape + optimizer steps)
+// mutates parameter gradients and must be externally synchronized — the
+// A2C trainer in internal/rl performs all updates from a single
+// goroutine.
+package nn
+
+import (
+	"fmt"
+
+	"osap/internal/linalg"
+)
+
+// Param is one trainable tensor (flattened) together with its gradient
+// accumulator.
+type Param struct {
+	Name string
+	W    []float64
+	G    []float64
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a feed-forward network.
+type Layer interface {
+	// InDim and OutDim are the flattened input/output lengths.
+	InDim() int
+	OutDim() int
+	// Forward computes out from in. len(in)==InDim, len(out)==OutDim.
+	Forward(in, out linalg.Vector)
+	// Backward computes gradIn from the cached forward pair (in, out)
+	// and gradOut, accumulating parameter gradients as a side effect.
+	Backward(in, out, gradOut, gradIn linalg.Vector)
+	// Params returns the layer's trainable tensors (nil for stateless
+	// layers).
+	Params() []*Param
+	// Kind returns the serialization tag for the layer type.
+	Kind() string
+}
+
+// Network is a feed-forward chain of layers.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork chains the given layers, validating that adjacent
+// input/output dimensions agree. It panics on a dimension mismatch,
+// which is a construction-time programmer error.
+func NewNetwork(layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: empty network")
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i-1].OutDim() != layers[i].InDim() {
+			panic(fmt.Sprintf("nn: layer %d out dim %d != layer %d in dim %d",
+				i-1, layers[i-1].OutDim(), i, layers[i].InDim()))
+		}
+	}
+	return &Network{layers: layers}
+}
+
+// InDim returns the network input length.
+func (n *Network) InDim() int { return n.layers[0].InDim() }
+
+// OutDim returns the network output length.
+func (n *Network) OutDim() int { return n.layers[len(n.layers)-1].OutDim() }
+
+// Layers returns the layer chain (shared, not copied).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs inference, allocating activations. It is safe to call
+// concurrently as long as no goroutine is concurrently mutating the
+// network's parameters.
+func (n *Network) Forward(in linalg.Vector) linalg.Vector {
+	if len(in) != n.InDim() {
+		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", len(in), n.InDim()))
+	}
+	cur := in
+	for _, l := range n.layers {
+		out := linalg.NewVector(l.OutDim())
+		l.Forward(cur, out)
+		cur = out
+	}
+	return cur
+}
+
+// Tape holds the activations of one forward pass, for use by
+// BackwardTape. acts[0] is the input; acts[i] is the output of layer i-1.
+type Tape struct {
+	acts []linalg.Vector
+}
+
+// Output returns the final activation of the pass.
+func (t *Tape) Output() linalg.Vector { return t.acts[len(t.acts)-1] }
+
+// ForwardTape runs a forward pass recording activations for backprop.
+func (n *Network) ForwardTape(in linalg.Vector) *Tape {
+	if len(in) != n.InDim() {
+		panic(fmt.Sprintf("nn: ForwardTape input dim %d, want %d", len(in), n.InDim()))
+	}
+	acts := make([]linalg.Vector, len(n.layers)+1)
+	acts[0] = in.Clone()
+	for i, l := range n.layers {
+		out := linalg.NewVector(l.OutDim())
+		l.Forward(acts[i], out)
+		acts[i+1] = out
+	}
+	return &Tape{acts: acts}
+}
+
+// BackwardTape backpropagates gradOut (the gradient of the loss with
+// respect to the network output) through the recorded pass, accumulating
+// parameter gradients, and returns the gradient with respect to the
+// input.
+func (n *Network) BackwardTape(tape *Tape, gradOut linalg.Vector) linalg.Vector {
+	if len(gradOut) != n.OutDim() {
+		panic(fmt.Sprintf("nn: BackwardTape grad dim %d, want %d", len(gradOut), n.OutDim()))
+	}
+	grad := gradOut
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		l := n.layers[i]
+		gradIn := linalg.NewVector(l.InDim())
+		l.Backward(tape.acts[i], tape.acts[i+1], grad, gradIn)
+		grad = gradIn
+	}
+	return grad
+}
+
+// Params returns all trainable tensors in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Clone returns a deep copy of the network (weights copied, gradients
+// zeroed).
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.layers))
+	for i, l := range n.layers {
+		layers[i] = cloneLayer(l)
+	}
+	return &Network{layers: layers}
+}
+
+// CopyWeightsFrom copies parameter values from src into n. The two
+// networks must have identical architectures; it panics otherwise.
+func (n *Network) CopyWeightsFrom(src *Network) {
+	dst := n.Params()
+	s := src.Params()
+	if len(dst) != len(s) {
+		panic("nn: CopyWeightsFrom architecture mismatch")
+	}
+	for i := range dst {
+		if len(dst[i].W) != len(s[i].W) {
+			panic("nn: CopyWeightsFrom tensor shape mismatch")
+		}
+		copy(dst[i].W, s[i].W)
+	}
+}

@@ -1,0 +1,159 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated gradients to parameters. Step consumes
+// the current gradients (the caller zeroes them afterwards, typically via
+// Network.ZeroGrad).
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored in
+	// the parameters.
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      [][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	if s.vel == nil && s.Momentum != 0 {
+		s.vel = make([][]float64, len(params))
+		for i, p := range params {
+			s.vel[i] = make([]float64, len(p.W))
+		}
+	}
+	for i, p := range params {
+		if s.Momentum == 0 {
+			for j := range p.W {
+				p.W[j] -= s.LR * p.G[j]
+			}
+			continue
+		}
+		v := s.vel[i]
+		for j := range p.W {
+			v[j] = s.Momentum*v[j] + p.G[j]
+			p.W[j] -= s.LR * v[j]
+		}
+	}
+}
+
+// RMSProp is the optimizer used by the original Pensieve (A3C) training
+// setup.
+type RMSProp struct {
+	LR    float64
+	Decay float64
+	Eps   float64
+	sq    [][]float64
+}
+
+// NewRMSProp returns an RMSProp optimizer with standard defaults for
+// decay (0.99) and epsilon (1e-6) when zero values are passed.
+func NewRMSProp(lr, decay, eps float64) *RMSProp {
+	if decay == 0 {
+		decay = 0.99
+	}
+	if eps == 0 {
+		eps = 1e-6
+	}
+	return &RMSProp{LR: lr, Decay: decay, Eps: eps}
+}
+
+// Step implements Optimizer.
+func (r *RMSProp) Step(params []*Param) {
+	if r.sq == nil {
+		r.sq = make([][]float64, len(params))
+		for i, p := range params {
+			r.sq[i] = make([]float64, len(p.W))
+		}
+	}
+	for i, p := range params {
+		sq := r.sq[i]
+		for j := range p.W {
+			g := p.G[j]
+			sq[j] = r.Decay*sq[j] + (1-r.Decay)*g*g
+			p.W[j] -= r.LR * g / (math.Sqrt(sq[j]) + r.Eps)
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+	m, v  [][]float64
+}
+
+// NewAdam returns an Adam optimizer; zero beta/eps values take the
+// standard defaults (0.9, 0.999, 1e-8).
+func NewAdam(lr, beta1, beta2, eps float64) *Adam {
+	if beta1 == 0 {
+		beta1 = 0.9
+	}
+	if beta2 == 0 {
+		beta2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	return &Adam{LR: lr, Beta1: beta1, Beta2: beta2, Eps: eps}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.W))
+			a.v[i] = make([]float64, len(p.W))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W {
+			g := p.G[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mhat := m[j] / c1
+			vhat := v[j] / c2
+			p.W[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, returning the pre-clip norm. A maxNorm <= 0 disables
+// clipping.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for j := range p.G {
+			p.G[j] *= scale
+		}
+	}
+	return norm
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// layerJSON is the on-disk representation of one layer.
+type layerJSON struct {
+	Kind string `json:"kind"`
+	// Dense
+	In  int `json:"in,omitempty"`
+	Out int `json:"out,omitempty"`
+	// Conv1D
+	Channels int `json:"channels,omitempty"`
+	Length   int `json:"length,omitempty"`
+	Filters  int `json:"filters,omitempty"`
+	Kernel   int `json:"kernel,omitempty"`
+	// Stateless layers
+	Dim int `json:"dim,omitempty"`
+	// Parameters
+	Weight []float64 `json:"weight,omitempty"`
+	Bias   []float64 `json:"bias,omitempty"`
+}
+
+type networkJSON struct {
+	Layers []layerJSON `json:"layers"`
+}
+
+// MarshalJSON serializes the full architecture and weights.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	out := networkJSON{Layers: make([]layerJSON, 0, len(n.layers))}
+	for _, l := range n.layers {
+		var lj layerJSON
+		lj.Kind = l.Kind()
+		switch v := l.(type) {
+		case *DenseLayer:
+			lj.In, lj.Out = v.In, v.Out
+			lj.Weight = v.Weight.W
+			lj.Bias = v.Bias.W
+		case *Conv1DLayer:
+			lj.Channels, lj.Length, lj.Filters, lj.Kernel = v.Channels, v.Length, v.Filters, v.Kernel
+			lj.Weight = v.Weight.W
+			lj.Bias = v.Bias.W
+		case *ReLULayer:
+			lj.Dim = v.Dim
+		case *TanhLayer:
+			lj.Dim = v.Dim
+		case *SoftmaxLayer:
+			lj.Dim = v.Dim
+		default:
+			return nil, fmt.Errorf("nn: cannot serialize layer type %T", l)
+		}
+		out.Layers = append(out.Layers, lj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON reconstructs a network serialized by MarshalJSON.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var in networkJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("nn: decode network: %w", err)
+	}
+	if len(in.Layers) == 0 {
+		return fmt.Errorf("nn: decode network: no layers")
+	}
+	layers := make([]Layer, 0, len(in.Layers))
+	for i, lj := range in.Layers {
+		switch lj.Kind {
+		case "dense":
+			d := Dense(lj.In, lj.Out)
+			if len(lj.Weight) != len(d.Weight.W) || len(lj.Bias) != len(d.Bias.W) {
+				return fmt.Errorf("nn: layer %d: dense weight shape mismatch", i)
+			}
+			copy(d.Weight.W, lj.Weight)
+			copy(d.Bias.W, lj.Bias)
+			layers = append(layers, d)
+		case "conv1d":
+			c := Conv1D(lj.Channels, lj.Length, lj.Filters, lj.Kernel)
+			if len(lj.Weight) != len(c.Weight.W) || len(lj.Bias) != len(c.Bias.W) {
+				return fmt.Errorf("nn: layer %d: conv1d weight shape mismatch", i)
+			}
+			copy(c.Weight.W, lj.Weight)
+			copy(c.Bias.W, lj.Bias)
+			layers = append(layers, c)
+		case "relu":
+			layers = append(layers, ReLU(lj.Dim))
+		case "tanh":
+			layers = append(layers, Tanh(lj.Dim))
+		case "softmax":
+			layers = append(layers, Softmax(lj.Dim))
+		default:
+			return fmt.Errorf("nn: layer %d: unknown kind %q", i, lj.Kind)
+		}
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i-1].OutDim() != layers[i].InDim() {
+			return fmt.Errorf("nn: decode network: layer %d/%d dimension mismatch", i-1, i)
+		}
+	}
+	n.layers = layers
+	return nil
+}

@@ -1,0 +1,118 @@
+package rl
+
+import (
+	"fmt"
+	"sync"
+
+	"osap/internal/mdp"
+	"osap/internal/nn"
+	"osap/internal/stats"
+)
+
+// TrainEnsemble trains n agents in the same training environment where
+// "the only difference in the training process is the initialization of
+// the neural network variables" (§2.4). Member i uses seed
+// cfg.Seed + i·memberSeedStride for initialization AND rollout
+// randomness; the environment distribution is identical.
+//
+// Members train concurrently (each is an independent A2C run). The
+// returned slice is ordered by member index; by convention member 0 is
+// the deployed agent.
+func TrainEnsemble(factory EnvFactory, cfg TrainConfig, n int) ([]*ActorCritic, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rl: ensemble size %d", n)
+	}
+	agents := make([]*ActorCritic, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mcfg := cfg
+			mcfg.Seed = memberSeed(cfg.Seed, i)
+			// Each member's A2C run already parallelizes rollouts;
+			// bound inner workers so n members don't oversubscribe.
+			if mcfg.Workers == 0 {
+				mcfg.Workers = 2
+			}
+			agents[i], _, errs[i] = Train(factory, mcfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return agents, nil
+}
+
+// memberSeedStride spaces member seeds far apart.
+const memberSeedStride = 0x9e3779b9
+
+func memberSeed(base uint64, i int) uint64 { return base + uint64(i)*memberSeedStride }
+
+// TrainValueEnsemble trains n value functions for the given frozen
+// policy. Per §2.4, all members regress on the same agent-environment
+// interaction data; they differ only in network initialization.
+func TrainValueEnsemble(factory EnvFactory, policy mdp.Policy, cfg ValueTrainConfig, n int) ([]*nn.Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rl: value ensemble size %d", n)
+	}
+	ds, err := CollectValueDataset(factory, policy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nets := make([]*nn.Network, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mcfg := cfg
+			mcfg.InitSeed = memberSeed(cfg.InitSeed, i)
+			nets[i], errs[i] = TrainValueOnDataset(ds, mcfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nets, nil
+}
+
+// PolicyEnsemble adapts a set of agents to the []mdp.Policy slice the
+// uncertainty signals consume.
+func PolicyEnsemble(agents []*ActorCritic) []mdp.Policy {
+	ps := make([]mdp.Policy, len(agents))
+	for i, a := range agents {
+		ps[i] = a
+	}
+	return ps
+}
+
+// ValueEnsemble adapts a set of critic networks to []mdp.ValueFn.
+func ValueEnsemble(nets []*nn.Network) []mdp.ValueFn {
+	vs := make([]mdp.ValueFn, len(nets))
+	for i, n := range nets {
+		vs[i] = NetValueFn{Net: n}
+	}
+	return vs
+}
+
+// EvaluateAgent runs greedy episodes of the agent and returns total
+// rewards, the standard deployment-time measurement.
+func EvaluateAgent(factory EnvFactory, agent *ActorCritic, seed uint64, episodes int) []float64 {
+	env := factory()
+	rng := stats.NewRNG(seed)
+	out := make([]float64, episodes)
+	for i := range out {
+		traj := mdp.Rollout(env, GreedyPolicy{P: agent}, rng, mdp.RolloutOptions{})
+		out[i] = traj.TotalReward()
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"osap/internal/linalg"
+	"osap/internal/mdp"
+	"osap/internal/nn"
+	"osap/internal/stats"
+)
+
+// PPOConfig parameterizes proximal policy optimization (clipped
+// surrogate objective) — a second, more sample-efficient trainer for the
+// Pensieve architecture, supporting the paper's future-work direction of
+// evaluating OSAP around other deep-learning-based systems. The trained
+// artifact is the same ActorCritic the A2C trainer produces, so
+// ensembles, value functions and all uncertainty signals work unchanged.
+type PPOConfig struct {
+	Net NetConfig
+	// Gamma and Lambda parameterize GAE(λ) advantage estimation.
+	Gamma  float64
+	Lambda float64
+	// Iterations is the number of collect→optimize rounds.
+	Iterations int
+	// RolloutsPerIter is the number of episodes gathered per round.
+	RolloutsPerIter int
+	// MaxStepsPerEpisode truncates episodes (0 = play out).
+	MaxStepsPerEpisode int
+	// OptEpochs is the number of passes over each round's data.
+	OptEpochs int
+	// BatchSize groups steps per gradient update.
+	BatchSize int
+	// ClipEps is the PPO clipping radius (0.2 standard).
+	ClipEps float64
+	// LRActor / LRCritic are Adam learning rates.
+	LRActor  float64
+	LRCritic float64
+	// EntropyCoef regularizes exploration.
+	EntropyCoef float64
+	// GradClip bounds the global gradient norm (0 disables).
+	GradClip float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers bounds rollout goroutines (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultPPOConfig returns standard PPO hyperparameters for the ABR
+// task.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		Net:             DefaultNetConfig(),
+		Gamma:           0.99,
+		Lambda:          0.95,
+		Iterations:      60,
+		RolloutsPerIter: 16,
+		OptEpochs:       4,
+		BatchSize:       256,
+		ClipEps:         0.2,
+		LRActor:         3e-4,
+		LRCritic:        1e-3,
+		EntropyCoef:     0.01,
+		GradClip:        5,
+		Seed:            1,
+	}
+}
+
+// Validate checks the configuration.
+func (c PPOConfig) Validate() error {
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.Gamma <= 0 || c.Gamma > 1 || c.Lambda < 0 || c.Lambda > 1 {
+		return fmt.Errorf("rl: ppo gamma %v / lambda %v out of range", c.Gamma, c.Lambda)
+	}
+	if c.Iterations <= 0 || c.RolloutsPerIter <= 0 || c.OptEpochs <= 0 {
+		return fmt.Errorf("rl: ppo iteration counts must be positive")
+	}
+	if c.ClipEps <= 0 || c.ClipEps >= 1 {
+		return fmt.Errorf("rl: ppo clip epsilon %v outside (0,1)", c.ClipEps)
+	}
+	if c.LRActor <= 0 || c.LRCritic <= 0 {
+		return fmt.Errorf("rl: ppo learning rates must be positive")
+	}
+	return nil
+}
+
+// ppoStep is one transition with its PPO training targets.
+type ppoStep struct {
+	obs     []float64
+	action  int
+	oldProb float64 // π_old(a|s)
+	ret     float64 // GAE return (advantage + value)
+	adv     float64 // GAE advantage
+}
+
+// TrainPPO runs PPO and returns the trained agent with per-iteration
+// mean rewards.
+func TrainPPO(factory EnvFactory, cfg PPOConfig) (*ActorCritic, *TrainStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	agent, err := NewActorCritic(cfg.Net, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	envs := make([]mdp.Env, cfg.RolloutsPerIter)
+	for i := range envs {
+		envs[i] = factory()
+	}
+	if envs[0].ObsDim() != cfg.Net.ObsDim() || envs[0].NumActions() != cfg.Net.Actions {
+		return nil, nil, fmt.Errorf("rl: ppo env shape mismatch: obs %d/%d actions %d/%d",
+			envs[0].ObsDim(), cfg.Net.ObsDim(), envs[0].NumActions(), cfg.Net.Actions)
+	}
+
+	seedRNG := stats.NewRNG(cfg.Seed ^ 0x990)
+	actorOpt := nn.NewAdam(cfg.LRActor, 0, 0, 0)
+	criticOpt := nn.NewAdam(cfg.LRCritic, 0, 0, 0)
+	st := &TrainStats{}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Collect rollouts under the frozen policy.
+		trajs := make([]*mdp.Trajectory, cfg.RolloutsPerIter)
+		rngs := make([]*stats.RNG, cfg.RolloutsPerIter)
+		for i := range rngs {
+			rngs[i] = seedRNG.Fork()
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := 0; i < cfg.RolloutsPerIter; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				trajs[i] = mdp.Rollout(envs[i], agent, rngs[i], mdp.RolloutOptions{
+					MaxSteps: cfg.MaxStepsPerEpisode,
+				})
+			}(i)
+		}
+		wg.Wait()
+
+		// GAE advantages.
+		var steps []ppoStep
+		var meanReward float64
+		for _, traj := range trajs {
+			meanReward += traj.TotalReward()
+			n := traj.Len()
+			values := make([]float64, n+1)
+			for t, s := range traj.Steps {
+				values[t] = agent.Critic.Forward(s.Obs)[0]
+			}
+			truncated := cfg.MaxStepsPerEpisode > 0 && n >= cfg.MaxStepsPerEpisode
+			if truncated {
+				values[n] = agent.Critic.Forward(traj.FinalObs)[0]
+			}
+			gae := 0.0
+			for t := n - 1; t >= 0; t-- {
+				next := values[t+1]
+				if t == n-1 && !truncated {
+					next = 0
+				}
+				delta := traj.Steps[t].Reward + cfg.Gamma*next - values[t]
+				gae = delta + cfg.Gamma*cfg.Lambda*gae
+				steps = append(steps, ppoStep{
+					obs:     traj.Steps[t].Obs,
+					action:  traj.Steps[t].Action,
+					oldProb: math.Max(traj.Steps[t].Probs[traj.Steps[t].Action], 1e-10),
+					adv:     gae,
+					ret:     gae + values[t],
+				})
+			}
+		}
+		st.MeanReward = append(st.MeanReward, meanReward/float64(len(trajs)))
+
+		// Standardize advantages.
+		advs := make([]float64, len(steps))
+		for i, s := range steps {
+			advs[i] = s.adv
+		}
+		mean, std := stats.Mean(advs), stats.Std(advs)
+		if std < 1e-8 {
+			std = 1
+		}
+		for i := range steps {
+			steps[i].adv = (steps[i].adv - mean) / std
+		}
+
+		// Optimize the clipped surrogate.
+		order := make([]int, len(steps))
+		for i := range order {
+			order[i] = i
+		}
+		var entropySum float64
+		var entropyN int
+		for epoch := 0; epoch < cfg.OptEpochs; epoch++ {
+			seedRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			bs := cfg.BatchSize
+			if bs <= 0 {
+				bs = 256
+			}
+			for start := 0; start < len(order); start += bs {
+				end := start + bs
+				if end > len(order) {
+					end = len(order)
+				}
+				agent.Actor.ZeroGrad()
+				agent.Critic.ZeroGrad()
+				for _, idx := range order[start:end] {
+					s := steps[idx]
+
+					// Critic regression to GAE returns.
+					ctape := agent.Critic.ForwardTape(s.obs)
+					v := ctape.Output()[0]
+					agent.Critic.BackwardTape(ctape, linalg.Vector{2 * (v - s.ret)})
+
+					// Clipped surrogate: L = -min(rA, clip(r)A) − β H.
+					atape := agent.Actor.ForwardTape(s.obs)
+					probs := atape.Output()
+					pa := math.Max(probs[s.action], 1e-10)
+					ratio := pa / s.oldProb
+					grad := make(linalg.Vector, len(probs))
+					// Entropy gradient (always applied).
+					for i, p := range probs {
+						pc := math.Max(p, 1e-10)
+						grad[i] = cfg.EntropyCoef * (math.Log(pc) + 1)
+						entropySum -= p * math.Log(pc)
+					}
+					entropyN++
+					// Surrogate gradient is zero where clipping binds.
+					clipped := (s.adv > 0 && ratio > 1+cfg.ClipEps) ||
+						(s.adv < 0 && ratio < 1-cfg.ClipEps)
+					if !clipped {
+						grad[s.action] -= s.adv / s.oldProb
+					}
+					agent.Actor.BackwardTape(atape, grad)
+				}
+				inv := 1 / float64(end-start)
+				for _, p := range agent.Actor.Params() {
+					for j := range p.G {
+						p.G[j] *= inv
+					}
+				}
+				for _, p := range agent.Critic.Params() {
+					for j := range p.G {
+						p.G[j] *= inv
+					}
+				}
+				nn.ClipGradNorm(agent.Actor.Params(), cfg.GradClip)
+				nn.ClipGradNorm(agent.Critic.Params(), cfg.GradClip)
+				actorOpt.Step(agent.Actor.Params())
+				criticOpt.Step(agent.Critic.Params())
+			}
+		}
+		if entropyN > 0 {
+			st.Entropy = append(st.Entropy, entropySum/float64(entropyN))
+		}
+	}
+	return agent, st, nil
+}

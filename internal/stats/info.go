@@ -1,0 +1,81 @@
+package stats
+
+import "math"
+
+// klEps floors probabilities when computing KL divergence so that
+// zero-probability entries (which neural softmax outputs approach but
+// never reach exactly, and which averaged ensemble outputs can produce
+// after trimming) do not yield infinities.
+const klEps = 1e-12
+
+// KLDivergence returns D_KL(p || q) in nats for two discrete
+// distributions given as probability vectors of equal length. Entries are
+// floored at a small epsilon. It panics if the lengths differ.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KLDivergence length mismatch")
+	}
+	var d float64
+	for i := range p {
+		pi := math.Max(p[i], klEps)
+		qi := math.Max(q[i], klEps)
+		d += pi * math.Log(pi/qi)
+	}
+	return d
+}
+
+// Entropy returns the Shannon entropy of p in nats.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, pi := range p {
+		if pi > klEps {
+			h -= pi * math.Log(pi)
+		}
+	}
+	return h
+}
+
+// MeanDistribution returns the element-wise average of the given
+// probability vectors — the ensemble-mean action distribution ā used by
+// the U_π uncertainty signal. It panics if dists is empty or lengths
+// differ.
+func MeanDistribution(dists [][]float64) []float64 {
+	if len(dists) == 0 {
+		panic("stats: MeanDistribution of empty set")
+	}
+	n := len(dists[0])
+	mean := make([]float64, n)
+	for _, d := range dists {
+		if len(d) != n {
+			panic("stats: MeanDistribution length mismatch")
+		}
+		for i, v := range d {
+			mean[i] += v
+		}
+	}
+	inv := 1 / float64(len(dists))
+	for i := range mean {
+		mean[i] *= inv
+	}
+	return mean
+}
+
+// Normalize scales xs in place so it sums to 1, returning xs. If the sum
+// is not positive it returns the uniform distribution instead.
+func Normalize(xs []float64) []float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return xs
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+	return xs
+}

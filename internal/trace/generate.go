@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+
+	"osap/internal/stats"
+)
+
+// Generator produces synthetic traces. Generators are immutable and safe
+// for concurrent use; all randomness flows through the RNG argument.
+type Generator interface {
+	// Generate produces a trace of the given duration in seconds.
+	Generate(rng *stats.RNG, durationSec int) *Trace
+	// String names the generator.
+	String() string
+}
+
+// IIDGenerator samples capacity i.i.d. per second from Dist, clamped to
+// [0, MaxMbps] (MaxMbps <= 0 means no upper clamp). This realizes the
+// paper's four synthetic datasets, which sample network throughput
+// i.i.d. from Gamma/Logistic/Exponential distributions.
+type IIDGenerator struct {
+	Name    string
+	Dist    stats.Sampler
+	MaxMbps float64
+}
+
+// Generate implements Generator.
+func (g IIDGenerator) Generate(rng *stats.RNG, durationSec int) *Trace {
+	tr := &Trace{Name: g.Name, Mbps: make([]float64, durationSec)}
+	for i := range tr.Mbps {
+		v := g.Dist.Sample(rng)
+		if v < 0 {
+			v = 0
+		}
+		if g.MaxMbps > 0 && v > g.MaxMbps {
+			v = g.MaxMbps
+		}
+		tr.Mbps[i] = v
+	}
+	return tr
+}
+
+func (g IIDGenerator) String() string { return fmt.Sprintf("IID(%s)", g.Dist) }
+
+// Regime is one state of a Markov-modulated generator: while in the
+// regime, per-second capacity is MeanMbps perturbed by multiplicative
+// lognormal noise with the given sigma.
+type Regime struct {
+	MeanMbps float64
+	Sigma    float64
+}
+
+// MarkovGenerator is a regime-switching throughput model: a discrete-time
+// Markov chain over Regimes with per-second transition matrix P, plus an
+// AR(1) smoothing filter. It is the stand-in for the empirical mobile
+// datasets (Norway 3G commute traces, Belgium 4G drive traces), which are
+// well described by switching between outage / slow / cruising / fast
+// regimes with short-term autocorrelation.
+type MarkovGenerator struct {
+	Name    string
+	Regimes []Regime
+	// P[i][j] is the per-second probability of switching from regime i
+	// to regime j. Rows must sum to 1.
+	P [][]float64
+	// Smooth in [0,1) is the AR(1) coefficient applied to successive
+	// samples (0 disables smoothing).
+	Smooth float64
+	// MaxMbps clamps the output (<= 0 disables).
+	MaxMbps float64
+}
+
+// Validate checks the transition matrix shape and row sums.
+func (g MarkovGenerator) Validate() error {
+	if len(g.Regimes) == 0 {
+		return fmt.Errorf("trace: %s: no regimes", g.Name)
+	}
+	if len(g.P) != len(g.Regimes) {
+		return fmt.Errorf("trace: %s: P has %d rows, want %d", g.Name, len(g.P), len(g.Regimes))
+	}
+	for i, row := range g.P {
+		if len(row) != len(g.Regimes) {
+			return fmt.Errorf("trace: %s: P row %d has %d cols, want %d", g.Name, i, len(row), len(g.Regimes))
+		}
+		var sum float64
+		for _, p := range row {
+			if p < 0 {
+				return fmt.Errorf("trace: %s: P[%d] has negative entry", g.Name, i)
+			}
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			return fmt.Errorf("trace: %s: P row %d sums to %v, want 1", g.Name, i, sum)
+		}
+	}
+	return nil
+}
+
+// Generate implements Generator.
+func (g MarkovGenerator) Generate(rng *stats.RNG, durationSec int) *Trace {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	tr := &Trace{Name: g.Name, Mbps: make([]float64, durationSec)}
+	state := rng.Intn(len(g.Regimes))
+	prev := g.Regimes[state].MeanMbps
+	for i := 0; i < durationSec; i++ {
+		// Transition.
+		u := rng.Float64()
+		var cum float64
+		for j, p := range g.P[state] {
+			cum += p
+			if u < cum {
+				state = j
+				break
+			}
+		}
+		reg := g.Regimes[state]
+		noise := stats.LogNormal{Mu: 0, Sigma: reg.Sigma}.Sample(rng)
+		v := reg.MeanMbps * noise
+		if g.Smooth > 0 {
+			v = g.Smooth*prev + (1-g.Smooth)*v
+		}
+		if v < 0 {
+			v = 0
+		}
+		if g.MaxMbps > 0 && v > g.MaxMbps {
+			v = g.MaxMbps
+		}
+		tr.Mbps[i] = v
+		prev = v
+	}
+	return tr
+}
+
+func (g MarkovGenerator) String() string {
+	return fmt.Sprintf("Markov(%s,%d regimes)", g.Name, len(g.Regimes))
+}
+
+// Norway3G models the 3G/HSDPA commute dataset collected in Norway
+// (Riiser et al.): bursty low-bandwidth traces with outage, slow, cruise
+// and fast regimes, heavy short-term variation, capacities mostly in
+// 0–6 Mbps.
+func Norway3G() MarkovGenerator {
+	return MarkovGenerator{
+		Name: "norway",
+		Regimes: []Regime{
+			{MeanMbps: 0.12, Sigma: 0.40}, // tunnel/outage
+			{MeanMbps: 0.70, Sigma: 0.35}, // slow
+			{MeanMbps: 2.10, Sigma: 0.30}, // cruise
+			{MeanMbps: 4.30, Sigma: 0.25}, // fast
+		},
+		P: [][]float64{
+			{0.80, 0.17, 0.03, 0.00},
+			{0.06, 0.76, 0.16, 0.02},
+			{0.01, 0.12, 0.77, 0.10},
+			{0.00, 0.03, 0.20, 0.77},
+		},
+		Smooth:  0.30,
+		MaxMbps: 8,
+	}
+}
+
+// Belgium4G models the 4G/LTE dataset collected in Belgium (van der
+// Hooft et al.), scaled into the video's operating range as in
+// Pensieve's evaluation: smoother, higher-bandwidth traces with rare
+// deep fades and strong autocorrelation.
+func Belgium4G() MarkovGenerator {
+	return MarkovGenerator{
+		Name: "belgium",
+		Regimes: []Regime{
+			{MeanMbps: 0.80, Sigma: 0.25}, // handover fade
+			{MeanMbps: 2.80, Sigma: 0.18}, // urban
+			{MeanMbps: 4.60, Sigma: 0.12}, // highway
+			{MeanMbps: 6.00, Sigma: 0.10}, // open road
+		},
+		P: [][]float64{
+			{0.70, 0.28, 0.02, 0.00},
+			{0.02, 0.86, 0.11, 0.01},
+			{0.00, 0.07, 0.85, 0.08},
+			{0.00, 0.01, 0.14, 0.85},
+		},
+		Smooth:  0.65,
+		MaxMbps: 10,
+	}
+}
