@@ -1,0 +1,42 @@
+# Developer entry points. `make ci` is the full gate: tier-1 verify
+# (build + all tests), vet, formatting, and the race-detector sweep
+# over the internal packages.
+
+GO ?= go
+
+.PHONY: all build test verify vet fmt-check race ci bench bench-hot
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verify (ROADMAP.md).
+verify: build test
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/...
+
+ci: verify vet fmt-check race
+
+# Full benchmark suite (figures, ablations, latency).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Serving hot path + OC-SVM training only (the BENCH_inference.json
+# measurements).
+bench-hot:
+	$(GO) test -run xxx -bench 'BenchmarkDecisionUS$$|BenchmarkDecisionUPi$$|BenchmarkDecisionUV$$|BenchmarkAgentInference$$|BenchmarkTrainOCSVM$$|BenchmarkFigure1$$' -benchmem .

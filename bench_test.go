@@ -202,6 +202,7 @@ func BenchmarkDecisionUS(b *testing.B) {
 		b.Fatal(err)
 	}
 	obs := benchObs(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sig.Observe(obs)
@@ -209,15 +210,18 @@ func BenchmarkDecisionUS(b *testing.B) {
 }
 
 // BenchmarkDecisionUPi measures one U_π decision (ensemble forward
-// passes + trimmed KL disagreement).
+// passes + trimmed KL disagreement) on the workspace-backed serving
+// path.
 func BenchmarkDecisionUPi(b *testing.B) {
 	arts := trainedArtifacts(b)
 	a := arts[trace.DatasetGamma22]
-	sig, err := core.NewPolicySignal(rl.PolicyEnsemble(a.Agents), core.EnsembleConfig{Discard: 1})
+	sig, err := core.NewPolicySignal(rl.InferencePolicyEnsemble(a.Agents), core.EnsembleConfig{Discard: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	obs := benchObs(b)
+	sig.Observe(obs) // size the signal's scratch buffers
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sig.Observe(obs)
@@ -225,15 +229,18 @@ func BenchmarkDecisionUPi(b *testing.B) {
 }
 
 // BenchmarkDecisionUV measures one U_V decision (value-ensemble forward
-// passes + trimmed distance disagreement).
+// passes + trimmed distance disagreement) on the workspace-backed
+// serving path.
 func BenchmarkDecisionUV(b *testing.B) {
 	arts := trainedArtifacts(b)
 	a := arts[trace.DatasetGamma22]
-	sig, err := core.NewValueSignal(rl.ValueEnsemble(a.ValueNets), core.EnsembleConfig{Discard: 1})
+	sig, err := core.NewValueSignal(rl.InferenceValueEnsemble(a.ValueNets), core.EnsembleConfig{Discard: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	obs := benchObs(b)
+	sig.Observe(obs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sig.Observe(obs)
@@ -250,6 +257,7 @@ func BenchmarkTrainOCSVM(b *testing.B) {
 		series[i] = g.Sample(rng)
 	}
 	feats := osap.BuildStateFeatures(series, osap.DefaultStateSignalConfig())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := osap.TrainOCSVM(feats, osap.DefaultOCSVMConfig()); err != nil {
@@ -259,14 +267,16 @@ func BenchmarkTrainOCSVM(b *testing.B) {
 }
 
 // BenchmarkAgentInference measures one Pensieve actor forward pass (the
-// baseline cost every scheme pays per chunk).
+// baseline cost every scheme pays per chunk) through a workspace-backed
+// inference session, the serving configuration.
 func BenchmarkAgentInference(b *testing.B) {
 	arts := trainedArtifacts(b)
-	agent := arts[trace.DatasetGamma22].Agents[0]
+	session := rl.NewPolicyInference(arts[trace.DatasetGamma22].Agents[0])
 	obs := benchObs(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		agent.Probs(obs)
+		session.Probs(obs)
 	}
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"osap/internal/mdp"
 	"osap/internal/stats"
@@ -26,18 +25,36 @@ func DefaultEnsembleConfig() EnsembleConfig { return EnsembleConfig{Discard: 2} 
 // trimIndices returns the indices of members kept after discarding the
 // `discard` members with the largest distance.
 func trimIndices(dists []float64, discard int) []int {
+	return trimIndicesInto(make([]int, 0, len(dists)), dists, discard)
+}
+
+// trimIndicesInto is trimIndices writing into a caller-owned index
+// buffer (sliced from idx[:0]; it must have capacity len(dists)), so
+// per-chunk signal evaluation stays off the heap. Stable insertion
+// sorts replace sort.SliceStable + sort.Ints — identical results, and
+// ensembles are tiny (n=5) so O(n²) is irrelevant.
+func trimIndicesInto(idx []int, dists []float64, discard int) []int {
 	n := len(dists)
 	keep := n - discard
 	if keep < 1 {
 		keep = 1
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	idx = idx[:0]
+	for i := 0; i < n; i++ {
+		idx = append(idx, i)
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+	// Stable sort by distance: only strictly-smaller elements move left.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && dists[idx[j]] < dists[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 	kept := idx[:keep]
-	sort.Ints(kept)
+	for i := 1; i < len(kept); i++ {
+		for j := i; j > 0 && kept[j] < kept[j-1]; j-- {
+			kept[j], kept[j-1] = kept[j-1], kept[j]
+		}
+	}
 	return kept
 }
 
@@ -48,6 +65,15 @@ func trimIndices(dists []float64, discard int) []int {
 type PolicySignal struct {
 	Members []mdp.Policy
 	Cfg     EnsembleConfig
+
+	// Scratch buffers reused across Observe calls so per-chunk signal
+	// evaluation does not allocate. Observe therefore mutates the
+	// signal: use one PolicySignal instance per goroutine.
+	dists [][]float64
+	kl    []float64
+	mean  []float64
+	idx   []int
+	surv  [][]float64
 }
 
 // NewPolicySignal builds the U_π signal.
@@ -61,28 +87,40 @@ func NewPolicySignal(members []mdp.Policy, cfg EnsembleConfig) (*PolicySignal, e
 	return &PolicySignal{Members: members, Cfg: cfg}, nil
 }
 
-// Observe implements Signal.
+// Observe implements Signal. Steady-state calls are allocation-free:
+// member distributions, the ensemble mean, and the trim bookkeeping all
+// live in scratch buffers owned by the signal.
 func (p *PolicySignal) Observe(obs []float64) float64 {
-	dists := make([][]float64, len(p.Members))
-	for i, m := range p.Members {
-		dists[i] = m.Probs(obs)
+	n := len(p.Members)
+	if cap(p.dists) < n {
+		p.dists = make([][]float64, 0, n)
+		p.kl = make([]float64, n)
+		p.idx = make([]int, 0, n)
+		p.surv = make([][]float64, 0, n)
 	}
-	mean := stats.MeanDistribution(dists)
+	dists := p.dists[:0]
+	for _, m := range p.Members {
+		dists = append(dists, m.Probs(obs))
+	}
+	if len(p.mean) != len(dists[0]) {
+		p.mean = make([]float64, len(dists[0]))
+	}
+	mean := stats.MeanDistributionInto(p.mean, dists)
 
 	// Distance of each member from the ensemble mean.
-	kl := make([]float64, len(dists))
+	kl := p.kl[:n]
 	for i, d := range dists {
 		kl[i] = stats.KLDivergence(d, mean)
 	}
-	kept := trimIndices(kl, p.Cfg.Discard)
+	kept := trimIndicesInto(p.idx, kl, p.Cfg.Discard)
 
 	// Recompute the average over survivors and sum their KL distances
 	// from it.
-	surv := make([][]float64, len(kept))
-	for i, idx := range kept {
-		surv[i] = dists[idx]
+	surv := p.surv[:0]
+	for _, idx := range kept {
+		surv = append(surv, dists[idx])
 	}
-	mean = stats.MeanDistribution(surv)
+	mean = stats.MeanDistributionInto(p.mean, surv)
 	var u float64
 	for _, d := range surv {
 		u += stats.KLDivergence(d, mean)
@@ -107,6 +145,13 @@ type ValueSignal struct {
 	// thresholds comparable across reward scales. Disabled by default
 	// (the paper thresholds raw distances).
 	Normalize bool
+
+	// Scratch buffers reused across Observe calls (one ValueSignal
+	// instance per goroutine, as with PolicySignal).
+	vals []float64
+	dist []float64
+	idx  []int
+	surv []float64
 }
 
 // NewValueSignal builds the U_V signal.
@@ -120,22 +165,30 @@ func NewValueSignal(members []mdp.ValueFn, cfg EnsembleConfig) (*ValueSignal, er
 	return &ValueSignal{Members: members, Cfg: cfg}, nil
 }
 
-// Observe implements Signal.
+// Observe implements Signal. Steady-state calls are allocation-free,
+// mirroring PolicySignal.
 func (v *ValueSignal) Observe(obs []float64) float64 {
-	vals := make([]float64, len(v.Members))
+	n := len(v.Members)
+	if cap(v.vals) < n {
+		v.vals = make([]float64, n)
+		v.dist = make([]float64, n)
+		v.idx = make([]int, 0, n)
+		v.surv = make([]float64, 0, n)
+	}
+	vals := v.vals[:n]
 	for i, m := range v.Members {
 		vals[i] = m.Value(obs)
 	}
 	mean := stats.Mean(vals)
-	dist := make([]float64, len(vals))
+	dist := v.dist[:n]
 	for i, x := range vals {
 		dist[i] = math.Abs(x - mean)
 	}
-	kept := trimIndices(dist, v.Cfg.Discard)
+	kept := trimIndicesInto(v.idx, dist, v.Cfg.Discard)
 
-	surv := make([]float64, len(kept))
-	for i, idx := range kept {
-		surv[i] = vals[idx]
+	surv := v.surv[:0]
+	for _, idx := range kept {
+		surv = append(surv, vals[idx])
 	}
 	mean = stats.Mean(surv)
 	var u float64

@@ -122,7 +122,9 @@ func (s *RefittingSignal) Observe(obs []float64) float64 {
 		s.sinceBank++
 		if s.sinceBank >= s.stride {
 			s.sinceBank = 0
-			s.buffer = append(s.buffer, feat)
+			// feat aliases the tracker's reused buffer; the refit
+			// buffer outlives this step, so snapshot it.
+			s.buffer = append(s.buffer, append([]float64(nil), feat...))
 			if len(s.buffer) > s.cfg.BufferSize {
 				s.buffer = s.buffer[len(s.buffer)-s.cfg.BufferSize:]
 			}

@@ -74,6 +74,11 @@ type featureTracker struct {
 	thrWin *stats.RollingWindow
 	means  *stats.RollingWindow
 	stds   *stats.RollingWindow
+	// Reused per-add buffers; the slice returned by add aliases feat
+	// and is only valid until the next add.
+	msBuf []float64
+	ssBuf []float64
+	feat  []float64
 }
 
 func newFeatureTracker(cfg StateSignalConfig) *featureTracker {
@@ -82,12 +87,17 @@ func newFeatureTracker(cfg StateSignalConfig) *featureTracker {
 		thrWin: stats.NewRollingWindow(cfg.ThroughputWindow),
 		means:  stats.NewRollingWindow(cfg.K),
 		stds:   stats.NewRollingWindow(cfg.K),
+		msBuf:  make([]float64, 0, cfg.K),
+		ssBuf:  make([]float64, 0, cfg.K),
+		feat:   make([]float64, 0, 2*cfg.K),
 	}
 }
 
 // add ingests one throughput sample and returns the current feature
 // vector [mean_1, std_1, …, mean_K, std_K] (oldest pair first), or nil
-// while the windows are still filling.
+// while the windows are still filling. The returned slice is a buffer
+// owned by the tracker, valid until the next add; callers that retain
+// it must copy (BuildStateFeatures does).
 func (f *featureTracker) add(sample float64) []float64 {
 	f.thrWin.Add(sample)
 	if f.thrWin.Len() < 2 {
@@ -98,9 +108,9 @@ func (f *featureTracker) add(sample float64) []float64 {
 	if !f.means.Full() {
 		return nil
 	}
-	ms := f.means.Values()
-	ss := f.stds.Values()
-	feat := make([]float64, 0, 2*f.cfg.K)
+	ms := f.means.ValuesInto(f.msBuf[:0])
+	ss := f.stds.ValuesInto(f.ssBuf[:0])
+	feat := f.feat[:0]
 	for i := range ms {
 		feat = append(feat, ms[i], ss[i])
 	}
@@ -122,7 +132,7 @@ func BuildStateFeatures(throughputs []float64, cfg StateSignalConfig) [][]float6
 	var out [][]float64
 	for _, thr := range throughputs {
 		if feat := ft.add(thr); feat != nil {
-			out = append(out, feat)
+			out = append(out, append([]float64(nil), feat...))
 		}
 	}
 	return out

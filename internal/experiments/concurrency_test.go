@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"osap/internal/core"
+	"osap/internal/stats"
+)
+
+// freshLabWithArtifacts builds a new Lab sharing the package's
+// quick-config artifacts (installed, not retrained), so concurrency
+// tests start from a warm cache without paying for training again.
+func freshLabWithArtifacts(t *testing.T, datasets ...string) *Lab {
+	t.Helper()
+	src := quickLab(t)
+	l, err := NewLab(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range datasets {
+		a, err := src.Artifacts(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.InstallArtifacts(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+// TestConcurrentEvaluatePairMatchesSequential checks that hammering
+// EvaluatePair from many goroutines returns exactly the sequential
+// results: per-pair RNGs derive from the pair key, so scheduling must
+// not matter.
+func TestConcurrentEvaluatePairMatchesSequential(t *testing.T) {
+	pairs := [][2]string{
+		{"gamma22", "gamma22"},
+		{"gamma22", "gamma12"},
+		{"gamma22", "logistic"},
+	}
+
+	seq := freshLabWithArtifacts(t, "gamma22")
+	want := make([]map[string]float64, len(pairs))
+	for i, p := range pairs {
+		r, err := seq.EvaluatePair(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	par := freshLabWithArtifacts(t, "gamma22")
+	got := make([]map[string]float64, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	for i, p := range pairs {
+		wg.Add(1)
+		go func(i int, tr, te string) {
+			defer wg.Done()
+			got[i], errs[i] = par.EvaluatePair(tr, te)
+		}(i, p[0], p[1])
+	}
+	wg.Wait()
+
+	for i, p := range pairs {
+		if errs[i] != nil {
+			t.Fatalf("pair %v: %v", p, errs[i])
+		}
+		for _, s := range Schemes() {
+			if got[i][s] != want[i][s] {
+				t.Errorf("pair %v scheme %s: parallel %v, sequential %v", p, s, got[i][s], want[i][s])
+			}
+		}
+	}
+}
+
+// TestEvaluatePairSingleFlight checks concurrent callers of one pair
+// share a single evaluation (same result map, not equal copies).
+func TestEvaluatePairSingleFlight(t *testing.T) {
+	l := freshLabWithArtifacts(t, "gamma22")
+	const callers = 8
+	results := make([]map[string]float64, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = l.EvaluatePair("gamma22", "gamma12")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !sameMap(results[i], results[0]) {
+			t.Fatalf("caller %d got a different result map", i)
+		}
+	}
+}
+
+func sameMap(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentGuardsIndependent runs one guard per goroutine over
+// shared artifacts — the supported concurrency model (workspaces are
+// per-guard, artifacts immutable) — and checks every goroutine
+// reproduces the sequential result.
+func TestConcurrentGuardsIndependent(t *testing.T) {
+	l := quickLab(t)
+	a, err := l.Artifacts("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := l.Dataset("gamma12")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(scheme string, alpha float64) float64 {
+		g, err := l.buildGuard(a, scheme, alpha)
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		env := l.newEnv(l.Config().EvalVideo, d.Test)
+		rng := stats.NewRNG(99)
+		return core.MeanQoE(core.EvaluateGuard(env, g, rng, 2))
+	}
+
+	schemes := []struct {
+		name  string
+		alpha float64
+	}{
+		{SchemeND, 0},
+		{SchemeAEns, a.AlphaPi},
+		{SchemeVEns, a.AlphaV},
+	}
+	for _, sc := range schemes {
+		want := run(sc.name, sc.alpha)
+		const workers = 4
+		got := make([]float64, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = run(sc.name, sc.alpha)
+			}(i)
+		}
+		wg.Wait()
+		for i, q := range got {
+			if q != want {
+				t.Errorf("%s guard %d: QoE %v, sequential %v", sc.name, i, q, want)
+			}
+		}
+	}
+}
+
+// microConfig shrinks every budget far below QuickConfig so a full
+// 6-dataset, 36-pair grid stays affordable in a unit test.
+func microConfig() Config {
+	cfg := QuickConfig()
+	cfg.Registry.TracesPer = 6
+	cfg.Registry.DurationSec = 120
+	cfg.Train.Epochs = 3
+	cfg.Train.RolloutsPerEpoch = 2
+	cfg.Value.Episodes = 2
+	cfg.Value.Passes = 2
+	cfg.EnsembleSize = 2
+	cfg.Trim = core.EnsembleConfig{Discard: 0}
+	cfg.CalibIters = 2
+	cfg.CalibEpisodes = 1
+	cfg.EvalEpisodes = 1
+	cfg.OCSVMEpisodes = 2
+	cfg.SelectBestAgent = false
+	return cfg
+}
+
+// TestEvaluateAllWorkerCountInvariant runs the full 36-pair grid at a
+// micro budget with 1 worker and with 8, sharing trained artifacts via
+// InstallArtifacts, and requires bit-identical result maps: the worker
+// pool must not change what is computed, only when.
+func TestEvaluateAllWorkerCountInvariant(t *testing.T) {
+	seqCfg := microConfig()
+	seqCfg.EvalWorkers = 1
+	seq, err := NewLab(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.EvaluateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parCfg := microConfig()
+	parCfg.EvalWorkers = 8
+	par, err := NewLab(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the sequential lab's artifacts so the comparison isolates
+	// evaluation-grid concurrency (training determinism is covered by
+	// the rl package's own tests).
+	for _, ds := range datasetOrder() {
+		a, err := seq.Artifacts(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := par.InstallArtifacts(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := par.EvaluateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("parallel grid has %d pairs, sequential %d", len(got), len(want))
+	}
+	for key, wr := range want {
+		gr, ok := got[key]
+		if !ok {
+			t.Fatalf("pair %s missing from parallel grid", key)
+		}
+		for _, s := range Schemes() {
+			if gr[s] != wr[s] {
+				t.Errorf("pair %s scheme %s: parallel %v, sequential %v", key, s, gr[s], wr[s])
+			}
+		}
+	}
+}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"osap/internal/abr"
 	"osap/internal/core"
@@ -11,16 +13,35 @@ import (
 
 // EvaluatePair measures the mean QoE of every scheme with artifacts
 // trained on trainDS, streaming over testDS's test traces. Results are
-// cached per pair.
+// cached per pair, single-flight: concurrent callers of the same pair
+// share one evaluation.
 func (l *Lab) EvaluatePair(trainDS, testDS string) (map[string]float64, error) {
 	key := trainDS + "→" + testDS
 	l.mu.Lock()
-	if r, ok := l.pairs[key]; ok {
-		l.mu.Unlock()
-		return r, nil
+	e, ok := l.pairs[key]
+	if !ok {
+		e = &pairEntry{}
+		l.pairs[key] = e
 	}
 	l.mu.Unlock()
 
+	e.once.Do(func() {
+		e.r, e.err = l.evaluatePair(key, trainDS, testDS)
+		if e.err != nil {
+			l.mu.Lock()
+			if l.pairs[key] == e {
+				delete(l.pairs, key)
+			}
+			l.mu.Unlock()
+		}
+	})
+	return e.r, e.err
+}
+
+// evaluatePair runs the actual per-pair measurement. Every policy,
+// guard, env and RNG is constructed fresh here, so concurrent pairs
+// share nothing but the (immutable) artifacts.
+func (l *Lab) evaluatePair(key, trainDS, testDS string) (map[string]float64, error) {
 	a, err := l.Artifacts(trainDS)
 	if err != nil {
 		return nil, err
@@ -39,7 +60,7 @@ func (l *Lab) EvaluatePair(trainDS, testDS string) (map[string]float64, error) {
 	plain := map[string]interface {
 		Probs([]float64) []float64
 	}{
-		SchemePensieve: rl.GreedyPolicy{P: a.Agents[0]},
+		SchemePensieve: rl.NewGreedyInference(a.Agents[0]),
 		SchemeBB:       abr.NewBBPolicy(levels),
 		SchemeRandom:   abr.RandomPolicy{Levels: levels},
 	}
@@ -61,12 +82,6 @@ func (l *Lab) EvaluatePair(trainDS, testDS string) (map[string]float64, error) {
 		out[name] = core.MeanQoE(core.EvaluateGuard(env, g, rng, episodes))
 	}
 
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if prev, ok := l.pairs[key]; ok {
-		return prev, nil
-	}
-	l.pairs[key] = out
 	l.logf("[%s] evaluated: Pensieve=%.1f ND=%.1f A=%.1f V=%.1f BB=%.1f Rand=%.1f",
 		key, out[SchemePensieve], out[SchemeND], out[SchemeAEns], out[SchemeVEns],
 		out[SchemeBB], out[SchemeRandom])
@@ -111,17 +126,50 @@ func datasetOrder() []string {
 }
 
 // EvaluateAll runs every pair in the grid (36 combinations), returning
-// results keyed "train→test".
+// results keyed "train→test". Pairs are evaluated by a worker pool of
+// cfg.EvalWorkers goroutines (0 = GOMAXPROCS); the single-flight
+// artifact cache guarantees each dataset still trains exactly once even
+// when several pairs need it simultaneously, and results are identical
+// to the sequential loop (each pair's RNGs are derived from its key,
+// not from evaluation order).
 func (l *Lab) EvaluateAll() (map[string]map[string]float64, error) {
-	out := make(map[string]map[string]float64, 36)
-	for _, tr := range datasetOrder() {
-		for _, te := range datasetOrder() {
-			r, err := l.EvaluatePair(tr, te)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: pair %s→%s: %w", tr, te, err)
-			}
-			out[tr+"→"+te] = r
+	names := datasetOrder()
+	pairs := make([][2]string, 0, len(names)*len(names))
+	for _, tr := range names {
+		for _, te := range names {
+			pairs = append(pairs, [2]string{tr, te})
 		}
+	}
+
+	workers := l.cfg.EvalWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+
+	results := make([]map[string]float64, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, p := range pairs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, tr, te string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = l.EvaluatePair(tr, te)
+		}(i, p[0], p[1])
+	}
+	wg.Wait()
+
+	out := make(map[string]map[string]float64, len(pairs))
+	for i, p := range pairs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: pair %s→%s: %w", p[0], p[1], errs[i])
+		}
+		out[p[0]+"→"+p[1]] = results[i]
 	}
 	return out, nil
 }

@@ -32,17 +32,35 @@ type Artifacts struct {
 	AlphaV  float64
 }
 
+// artifactEntry is a single-flight cache slot: the first goroutine to
+// claim a dataset trains it inside once; concurrent callers block on
+// once.Do and observe the same result.
+type artifactEntry struct {
+	once sync.Once
+	a    *Artifacts
+	err  error
+}
+
+// pairEntry is the single-flight slot for one "train→test" evaluation.
+type pairEntry struct {
+	once sync.Once
+	r    map[string]float64
+	err  error
+}
+
 // Lab owns the datasets and a cache of per-dataset artifacts and
-// per-pair evaluations. Training is performed lazily on first use.
-// Lab is safe for concurrent use.
+// per-pair evaluations. Training is performed lazily on first use, and
+// both caches are single-flight: concurrent EvaluatePair calls that
+// need the same dataset's artifacts wait for one training run instead
+// of duplicating it. Lab is safe for concurrent use.
 type Lab struct {
 	cfg      Config
 	datasets map[string]*trace.Dataset
 
 	mu        sync.Mutex
-	artifacts map[string]*Artifacts
-	pairs     map[string]map[string]float64 // "train→test" → scheme → mean QoE
-	rnd       map[string]*rl.RND            // extension: RND novelty models
+	artifacts map[string]*artifactEntry
+	pairs     map[string]*pairEntry // "train→test" → scheme → mean QoE
+	rnd       map[string]*rl.RND    // extension: RND novelty models
 	// Progress, if non-nil, receives human-readable progress lines.
 	Progress func(string)
 }
@@ -59,8 +77,8 @@ func NewLab(cfg Config) (*Lab, error) {
 	return &Lab{
 		cfg:       cfg,
 		datasets:  ds,
-		artifacts: make(map[string]*Artifacts),
-		pairs:     make(map[string]map[string]float64),
+		artifacts: make(map[string]*artifactEntry),
+		pairs:     make(map[string]*pairEntry),
 	}, nil
 }
 
@@ -105,27 +123,30 @@ func (l *Lab) newEnv(video *abr.Video, traces []*trace.Trace) *abr.Env {
 }
 
 // Artifacts trains (or returns cached) artifacts for a training
-// dataset.
+// dataset. Concurrent callers for the same dataset share one training
+// run: the first claims the cache slot, the rest wait for its result.
 func (l *Lab) Artifacts(dataset string) (*Artifacts, error) {
 	l.mu.Lock()
-	if a, ok := l.artifacts[dataset]; ok {
-		l.mu.Unlock()
-		return a, nil
+	e, ok := l.artifacts[dataset]
+	if !ok {
+		e = &artifactEntry{}
+		l.artifacts[dataset] = e
 	}
 	l.mu.Unlock()
 
-	a, err := l.train(dataset)
-	if err != nil {
-		return nil, err
-	}
-
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if prev, ok := l.artifacts[dataset]; ok {
-		return prev, nil // lost a benign race; keep the first
-	}
-	l.artifacts[dataset] = a
-	return a, nil
+	e.once.Do(func() {
+		e.a, e.err = l.train(dataset)
+		if e.err != nil {
+			// Don't pin the failure: waiters on this entry see the
+			// error, but a fresh call may retry training.
+			l.mu.Lock()
+			if l.artifacts[dataset] == e {
+				delete(l.artifacts, dataset)
+			}
+			l.mu.Unlock()
+		}
+	})
+	return e.a, e.err
 }
 
 // train runs the full per-dataset pipeline.
@@ -148,7 +169,10 @@ func (l *Lab) train(dataset string) (*Artifacts, error) {
 	if l.cfg.SelectBestAgent {
 		l.selectBestAgent(agents, d, seed)
 	}
-	deployed := rl.GreedyPolicy{P: agents[0]}
+	// Feature collection is sequential, so the workspace-backed greedy
+	// session applies. (Value-ensemble training below rolls out across
+	// goroutines and therefore keeps the concurrent-safe agent itself.)
+	deployed := rl.NewGreedyInference(agents[0])
 
 	// 2. Value-function ensemble, trained on the deployed agent's own
 	// interaction data (§2.4).
@@ -227,7 +251,7 @@ func (l *Lab) selectBestAgent(agents []*rl.ActorCritic, d *trace.Dataset, seed u
 	for i, a := range agents {
 		env := l.newEnv(l.cfg.EvalVideo, d.Val)
 		rng := stats.NewRNG(seed ^ 0xBE57)
-		qoe := stats.Mean(abr.EvaluatePolicy(env, rl.GreedyPolicy{P: a}, rng, l.cfg.CalibEpisodes))
+		qoe := stats.Mean(abr.EvaluatePolicy(env, rl.NewGreedyInference(a), rng, l.cfg.CalibEpisodes))
 		if qoe > bestQoE {
 			best, bestQoE = i, qoe
 		}
@@ -261,8 +285,15 @@ func (l *Lab) collectStateFeatures(d *trace.Dataset, policy mdp.Policy, stateCfg
 // buildGuard assembles the safety-enhanced policy for a scheme. alpha is
 // only used by the variance-triggered schemes (pass the calibrated value
 // or a candidate during calibration).
+//
+// Guards run episodes on one goroutine, so the learned policy and the
+// ensemble signals use workspace-backed inference sessions: the whole
+// per-chunk safety decision — deployed policy plus the 5-member
+// ensemble forward passes behind U_π/U_V — does no heap allocation.
+// Each buildGuard call creates private sessions; build one guard per
+// goroutine, never share one.
 func (l *Lab) buildGuard(a *Artifacts, scheme string, alpha float64) (*core.Guard, error) {
-	learned := rl.GreedyPolicy{P: a.Agents[0]}
+	learned := rl.NewGreedyInference(a.Agents[0])
 	def := abr.NewBBPolicy(l.cfg.EvalVideo.NumLevels())
 
 	var sig core.Signal
@@ -279,14 +310,14 @@ func (l *Lab) buildGuard(a *Artifacts, scheme string, alpha float64) (*core.Guar
 		tc.L = l.cfg.TriggerL
 		trig = core.NewTrigger(tc)
 	case SchemeAEns:
-		s, err := core.NewPolicySignal(rl.PolicyEnsemble(a.Agents), l.cfg.Trim)
+		s, err := core.NewPolicySignal(rl.InferencePolicyEnsemble(a.Agents), l.cfg.Trim)
 		if err != nil {
 			return nil, err
 		}
 		sig = s
 		trig = core.NewTrigger(core.VarianceTriggerConfig(alpha, l.cfg.TriggerL))
 	case SchemeVEns:
-		s, err := core.NewValueSignal(rl.ValueEnsemble(a.ValueNets), l.cfg.Trim)
+		s, err := core.NewValueSignal(rl.InferenceValueEnsemble(a.ValueNets), l.cfg.Trim)
 		if err != nil {
 			return nil, err
 		}

@@ -92,8 +92,10 @@ func (l *Lab) InstallArtifacts(a *Artifacts) error {
 	if _, err := l.Dataset(a.Dataset); err != nil {
 		return err
 	}
+	e := &artifactEntry{a: a}
+	e.once.Do(func() {}) // mark completed so callers never train
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.artifacts[a.Dataset] = a
+	l.artifacts[a.Dataset] = e
 	return nil
 }

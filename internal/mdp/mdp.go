@@ -35,7 +35,10 @@ type Env interface {
 // Policy maps an observation to a probability distribution over actions
 // (π(·|s), §2.1). Deterministic policies return a one-hot vector.
 // Implementations must be safe for concurrent calls if they are shared
-// across rollout workers.
+// across rollout workers. The returned slice is only guaranteed valid
+// until the next Probs call on the same policy — workspace-backed
+// implementations (rl.PolicyInference) reuse their output buffer, so
+// callers that retain a distribution must copy it (Rollout does).
 type Policy interface {
 	Probs(obs []float64) []float64
 }
@@ -161,7 +164,9 @@ func Rollout(env Env, policy Policy, rng *stats.RNG, opts RolloutOptions) *Traje
 			action = SampleAction(rng, probs)
 		}
 		next, reward, done := env.Step(action)
-		tr := Transition{Obs: obs, Action: action, Reward: reward, Probs: probs}
+		// The trajectory outlives this step, but probs may alias a
+		// buffer the policy reuses on its next call — snapshot it.
+		tr := Transition{Obs: obs, Action: action, Reward: reward, Probs: append([]float64(nil), probs...)}
 		traj.Steps = append(traj.Steps, tr)
 		if opts.OnStep != nil {
 			opts.OnStep(t, tr)

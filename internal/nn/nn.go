@@ -6,16 +6,20 @@
 // with gradient clipping, and JSON serialization of trained models.
 //
 // Design notes: networks are feed-forward chains. Forward is pure with
-// respect to the network (activations are allocated per call), so a
-// trained network can serve concurrent inference from multiple
-// goroutines. Training (ForwardTape/BackwardTape + optimizer steps)
-// mutates parameter gradients and must be externally synchronized — the
-// A2C trainer in internal/rl performs all updates from a single
-// goroutine.
+// respect to the network (intermediate activations come from a pooled
+// Workspace; only the returned output is allocated), so a trained
+// network can serve concurrent inference from multiple goroutines. The
+// allocation-free hot path is the *WS method family (ForwardWS,
+// ForwardTapeWS, BackwardTapeWS) operating on an explicitly owned
+// Workspace — one workspace per goroutine, never shared. Training
+// (ForwardTape/BackwardTape + optimizer steps) mutates parameter
+// gradients and must be externally synchronized — the A2C trainer in
+// internal/rl performs all updates from a single goroutine.
 package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"osap/internal/linalg"
 )
@@ -55,6 +59,10 @@ type Layer interface {
 // Network is a feed-forward chain of layers.
 type Network struct {
 	layers []Layer
+	// wsPool recycles workspaces for the allocating compatibility APIs
+	// (Forward, BackwardTape), keeping them concurrency-safe without
+	// per-layer allocation.
+	wsPool sync.Pool
 }
 
 // NewNetwork chains the given layers, validating that adjacent
@@ -82,20 +90,19 @@ func (n *Network) OutDim() int { return n.layers[len(n.layers)-1].OutDim() }
 // Layers returns the layer chain (shared, not copied).
 func (n *Network) Layers() []Layer { return n.layers }
 
-// Forward runs inference, allocating activations. It is safe to call
-// concurrently as long as no goroutine is concurrently mutating the
-// network's parameters.
+// Forward runs inference and returns a freshly allocated output vector.
+// It is safe to call concurrently as long as no goroutine is
+// concurrently mutating the network's parameters. Intermediate
+// activations come from a pooled workspace, so the only allocation is
+// the returned output; the allocation-free variant is ForwardWS.
 func (n *Network) Forward(in linalg.Vector) linalg.Vector {
 	if len(in) != n.InDim() {
 		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", len(in), n.InDim()))
 	}
-	cur := in
-	for _, l := range n.layers {
-		out := linalg.NewVector(l.OutDim())
-		l.Forward(cur, out)
-		cur = out
-	}
-	return cur
+	ws := n.getWS()
+	out := n.ForwardWS(ws, in).Clone()
+	n.putWS(ws)
+	return out
 }
 
 // Tape holds the activations of one forward pass, for use by
@@ -125,18 +132,16 @@ func (n *Network) ForwardTape(in linalg.Vector) *Tape {
 // BackwardTape backpropagates gradOut (the gradient of the loss with
 // respect to the network output) through the recorded pass, accumulating
 // parameter gradients, and returns the gradient with respect to the
-// input.
+// input. Intermediate gradient buffers come from a pooled workspace, so
+// the only allocation is the returned vector; the allocation-free
+// variant is BackwardTapeWS.
 func (n *Network) BackwardTape(tape *Tape, gradOut linalg.Vector) linalg.Vector {
 	if len(gradOut) != n.OutDim() {
 		panic(fmt.Sprintf("nn: BackwardTape grad dim %d, want %d", len(gradOut), n.OutDim()))
 	}
-	grad := gradOut
-	for i := len(n.layers) - 1; i >= 0; i-- {
-		l := n.layers[i]
-		gradIn := linalg.NewVector(l.InDim())
-		l.Backward(tape.acts[i], tape.acts[i+1], grad, gradIn)
-		grad = gradIn
-	}
+	ws := n.getWS()
+	grad := n.BackwardTapeWS(ws, tape, gradOut).Clone()
+	n.putWS(ws)
 	return grad
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports that the race detector is active; sync.Pool
+// deliberately randomizes reuse under race, so pooled-alloc counts are
+// not meaningful.
+const raceEnabled = true

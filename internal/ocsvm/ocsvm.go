@@ -17,6 +17,8 @@ package ocsvm
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"osap/internal/stats"
 )
@@ -41,6 +43,10 @@ type Config struct {
 	MaxSamples int
 	// Seed drives subsampling.
 	Seed uint64
+	// Workers bounds the goroutines building the O(n²) kernel matrix
+	// (0 = GOMAXPROCS). The trained model is bit-identical regardless
+	// of the worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper-style configuration (ν = 0.05).
@@ -61,6 +67,29 @@ type Model struct {
 	Gamma float64 `json:"gamma"`
 	// Dim is the feature dimension.
 	Dim int `json:"dim"`
+
+	// Cached ‖sv_i‖², letting Decision use the expansion
+	// ‖x−sv‖² = ‖x‖² + ‖sv‖² − 2⟨x,sv⟩ with one pass over each SV.
+	// Computed lazily (and exactly once) so models deserialized from
+	// JSON work without an init hook; sync.Once keeps the lazy write
+	// safe under concurrent Decision calls.
+	normsOnce sync.Once
+	svNorm2   []float64
+}
+
+// ensureNorms populates the ‖sv‖² cache.
+func (m *Model) ensureNorms() {
+	m.normsOnce.Do(func() {
+		norms := make([]float64, len(m.SVs))
+		for i, sv := range m.SVs {
+			var s float64
+			for _, v := range sv {
+				s += v * v
+			}
+			norms[i] = s
+		}
+		m.svNorm2 = norms
+	})
 }
 
 func rbf(gamma float64, a, b []float64) float64 {
@@ -134,16 +163,42 @@ func Train(data [][]float64, cfg Config) (*Model, error) {
 		gamma = autoGamma(data)
 	}
 
-	// Kernel matrix.
+	// Kernel matrix. Rows of the lower triangle are computed by a
+	// bounded worker pool; interleaved assignment (worker w takes rows
+	// w, w+W, …) balances the triangular row costs. Workers write
+	// disjoint rows and every entry uses the same rbf() evaluation as
+	// the sequential loop, so the matrix — and hence the model — is
+	// bit-identical for any worker count.
 	K := make([][]float64, n)
 	for i := range K {
 		K[i] = make([]float64, n)
-		for j := 0; j <= i; j++ {
-			v := rbf(gamma, data[i], data[j])
-			K[i][j] = v
-			K[j][i] = v
-		}
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Both cells of a symmetric pair are written by the worker that
+	// owns row i (i ≥ j), so every matrix element has exactly one
+	// writer and no post-pass mirror is needed.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				row := K[i]
+				for j := 0; j <= i; j++ {
+					v := rbf(gamma, data[i], data[j])
+					row[j] = v
+					K[j][i] = v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 
 	// Upper bound per coefficient. Guarantee feasibility: n·C ≥ 1.
 	C := 1 / (cfg.Nu * float64(n))
@@ -266,6 +321,7 @@ func Train(data [][]float64, cfg Config) (*Model, error) {
 	if len(m.SVs) == 0 {
 		return nil, fmt.Errorf("ocsvm: training produced no support vectors")
 	}
+	m.ensureNorms()
 	return m, nil
 }
 
@@ -320,13 +376,30 @@ func projectCappedSimplex(v []float64, c float64) {
 
 // Decision returns f(x) = Σ α_i K(sv_i, x) − ρ. Positive values are
 // in-distribution. It panics on a dimension mismatch.
+//
+// The RBF distance uses the cached-norm expansion
+// ‖x−sv‖² = ‖x‖² + ‖sv‖² − 2⟨x,sv⟩ (clamped at 0 against rounding), so
+// each SV costs one dot product and the call never allocates.
 func (m *Model) Decision(x []float64) float64 {
 	if len(x) != m.Dim {
 		panic(fmt.Sprintf("ocsvm: input dim %d, want %d", len(x), m.Dim))
 	}
+	m.ensureNorms()
+	var xn float64
+	for _, v := range x {
+		xn += v * v
+	}
 	var s float64
 	for i, sv := range m.SVs {
-		s += m.Alpha[i] * rbf(m.Gamma, sv, x)
+		var dot float64
+		for k, v := range sv {
+			dot += v * x[k]
+		}
+		d2 := xn + m.svNorm2[i] - 2*dot
+		if d2 < 0 {
+			d2 = 0
+		}
+		s += m.Alpha[i] * math.Exp(-m.Gamma*d2)
 	}
 	return s - m.Rho
 }

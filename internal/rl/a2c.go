@@ -222,25 +222,31 @@ func update(agent *ActorCritic, trajs []*mdp.Trajectory, cfg TrainConfig, beta f
 		}
 	}
 
+	// The actor's tape is consumed immediately after each forward pass,
+	// so one workspace and one gradient buffer serve the whole batch.
+	actorWS := nn.NewWorkspace(agent.Actor)
+	criticGrad := linalg.NewVector(1)
+	actorGrad := linalg.NewVector(agent.Actor.OutDim())
+
 	var entropySum float64
 	for _, s := range steps {
 		// Critic: L = (V - G)².
 		v := s.ctape.Output()[0]
-		agent.Critic.BackwardTape(s.ctape, linalg.Vector{2 * (v - s.ret)})
+		criticGrad[0] = 2 * (v - s.ret)
+		agent.Critic.BackwardTape(s.ctape, criticGrad)
 
 		// Actor: L = -log π(a|s)·A − β·H(π(·|s)). Gradient w.r.t. the
 		// softmax output p: −A·1{i=a}/p_a + β(ln p_i + 1).
-		atape := agent.Actor.ForwardTape(s.obs)
+		atape := agent.Actor.ForwardTapeWS(actorWS, s.obs)
 		probs := atape.Output()
-		grad := make(linalg.Vector, len(probs))
 		for i, p := range probs {
 			pc := math.Max(p, 1e-10)
-			grad[i] = beta * (math.Log(pc) + 1)
+			actorGrad[i] = beta * (math.Log(pc) + 1)
 			entropySum -= p * math.Log(pc)
 		}
 		pa := math.Max(probs[s.act], 1e-10)
-		grad[s.act] -= s.adv / pa
-		agent.Actor.BackwardTape(atape, grad)
+		actorGrad[s.act] -= s.adv / pa
+		agent.Actor.BackwardTapeWS(actorWS, atape, actorGrad)
 	}
 
 	inv := 1 / float64(totalSteps)

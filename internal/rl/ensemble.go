@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"osap/internal/mdp"
@@ -32,9 +33,11 @@ func TrainEnsemble(factory EnvFactory, cfg TrainConfig, n int) ([]*ActorCritic, 
 			mcfg := cfg
 			mcfg.Seed = memberSeed(cfg.Seed, i)
 			// Each member's A2C run already parallelizes rollouts;
-			// bound inner workers so n members don't oversubscribe.
+			// split the machine evenly across the n concurrent members
+			// so small and large hosts are both fully used without
+			// oversubscription.
 			if mcfg.Workers == 0 {
-				mcfg.Workers = 2
+				mcfg.Workers = innerWorkers(n)
 			}
 			agents[i], _, errs[i] = Train(factory, mcfg)
 		}(i)
@@ -46,6 +49,16 @@ func TrainEnsemble(factory EnvFactory, cfg TrainConfig, n int) ([]*ActorCritic, 
 		}
 	}
 	return agents, nil
+}
+
+// innerWorkers divides GOMAXPROCS across n concurrent ensemble members
+// (at least 1 each), the per-member rollout-parallelism bound.
+func innerWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0) / n
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // memberSeedStride spaces member seeds far apart.

@@ -1,0 +1,101 @@
+package rl
+
+// Allocation-free inference sessions. The paper's safety decision runs
+// once per video chunk per viewer (§2.5), so the serving hot path —
+// ensemble forward passes feeding U_π/U_V plus the deployed agent's own
+// decision — must not put pressure on the allocator. Each session binds
+// a network to a private nn.Workspace; one session per goroutine, never
+// shared (see the Workspace ownership model in internal/nn).
+
+import (
+	"osap/internal/mdp"
+	"osap/internal/nn"
+)
+
+// PolicyInference is a single-goroutine, allocation-free policy handle
+// for one agent. Probs returns a buffer owned by the session, valid
+// until the next call; callers that retain the distribution must copy
+// it (mdp.Rollout does).
+type PolicyInference struct {
+	ac *ActorCritic
+	ws *nn.Workspace
+}
+
+// NewPolicyInference binds an agent to a fresh private workspace.
+func NewPolicyInference(ac *ActorCritic) *PolicyInference {
+	return &PolicyInference{ac: ac, ws: nn.NewWorkspace(ac.Actor)}
+}
+
+// Probs implements mdp.Policy without heap allocation. The result is
+// bit-identical to ac.Probs.
+func (p *PolicyInference) Probs(obs []float64) []float64 {
+	return p.ac.Actor.ForwardWS(p.ws, obs)
+}
+
+// ValueInference is a single-goroutine, allocation-free value-function
+// handle for one critic network.
+type ValueInference struct {
+	net *nn.Network
+	ws  *nn.Workspace
+}
+
+// NewValueInference binds a critic network to a fresh private workspace.
+func NewValueInference(net *nn.Network) *ValueInference {
+	return &ValueInference{net: net, ws: nn.NewWorkspace(net)}
+}
+
+// Value implements mdp.ValueFn without heap allocation. The result is
+// bit-identical to NetValueFn.Value.
+func (v *ValueInference) Value(obs []float64) float64 {
+	return v.net.ForwardWS(v.ws, obs)[0]
+}
+
+// GreedyInference is the allocation-free counterpart of GreedyPolicy: a
+// one-hot on the agent's argmax action, written into a session-owned
+// buffer. Single-goroutine, like every inference session.
+type GreedyInference struct {
+	p      *PolicyInference
+	onehot []float64
+}
+
+// NewGreedyInference builds a greedy serving handle for an agent.
+func NewGreedyInference(ac *ActorCritic) *GreedyInference {
+	return &GreedyInference{
+		p:      NewPolicyInference(ac),
+		onehot: make([]float64, ac.Actor.OutDim()),
+	}
+}
+
+// Probs implements mdp.Policy: a one-hot on the agent's argmax, valid
+// until the next call.
+func (g *GreedyInference) Probs(obs []float64) []float64 {
+	probs := g.p.Probs(obs)
+	for i := range g.onehot {
+		g.onehot[i] = 0
+	}
+	g.onehot[mdp.ArgmaxAction(probs)] = 1
+	return g.onehot
+}
+
+// InferencePolicyEnsemble is the workspace-backed entry point for the
+// U_π signal: every member gets a private workspace, so one ensemble
+// evaluation (5 forward passes per chunk) does no heap allocation. The
+// returned policies are single-goroutine as a set — build one ensemble
+// per Guard/Signal instance.
+func InferencePolicyEnsemble(agents []*ActorCritic) []mdp.Policy {
+	ps := make([]mdp.Policy, len(agents))
+	for i, a := range agents {
+		ps[i] = NewPolicyInference(a)
+	}
+	return ps
+}
+
+// InferenceValueEnsemble is the workspace-backed entry point for the
+// U_V signal, mirroring InferencePolicyEnsemble.
+func InferenceValueEnsemble(nets []*nn.Network) []mdp.ValueFn {
+	vs := make([]mdp.ValueFn, len(nets))
+	for i, n := range nets {
+		vs[i] = NewValueInference(n)
+	}
+	return vs
+}

@@ -1,0 +1,98 @@
+package rl
+
+import (
+	"testing"
+
+	"osap/internal/stats"
+)
+
+func infTestObs(n int, seed uint64) []float64 {
+	rng := stats.NewRNG(seed)
+	obs := make([]float64, n)
+	for i := range obs {
+		obs[i] = rng.NormFloat64()
+	}
+	return obs
+}
+
+// TestPolicyInferenceMatchesProbs checks the workspace-backed session is
+// bit-identical to the allocating ActorCritic.Probs, including across
+// repeated buffer reuse.
+func TestPolicyInferenceMatchesProbs(t *testing.T) {
+	ac, err := NewActorCritic(toyNetConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := NewPolicyInference(ac)
+	for trial := 0; trial < 5; trial++ {
+		obs := infTestObs(ac.Actor.InDim(), uint64(40+trial))
+		want := ac.Probs(obs)
+		got := pi.Probs(obs)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: PolicyInference.Probs[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestValueInferenceMatchesValue checks the workspace-backed value
+// session is bit-identical to NetValueFn.
+func TestValueInferenceMatchesValue(t *testing.T) {
+	ac, err := NewActorCritic(toyNetConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi := NewValueInference(ac.Critic)
+	for trial := 0; trial < 5; trial++ {
+		obs := infTestObs(ac.Critic.InDim(), uint64(50+trial))
+		want := NetValueFn{Net: ac.Critic}.Value(obs)
+		if got := vi.Value(obs); got != want {
+			t.Fatalf("trial %d: ValueInference.Value = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestGreedyInferenceMatchesGreedyPolicy checks the serving one-hot
+// equals GreedyPolicy's.
+func TestGreedyInferenceMatchesGreedyPolicy(t *testing.T) {
+	ac, err := NewActorCritic(toyNetConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := NewGreedyInference(ac)
+	gp := GreedyPolicy{P: ac}
+	for trial := 0; trial < 5; trial++ {
+		obs := infTestObs(ac.Actor.InDim(), uint64(60+trial))
+		want := gp.Probs(obs)
+		got := gi.Probs(obs)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: GreedyInference.Probs[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInferenceZeroAlloc verifies the sessions never touch the heap in
+// steady state.
+func TestInferenceZeroAlloc(t *testing.T) {
+	ac, err := NewActorCritic(toyNetConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := NewPolicyInference(ac)
+	vi := NewValueInference(ac.Critic)
+	gi := NewGreedyInference(ac)
+	obs := infTestObs(ac.Actor.InDim(), 70)
+
+	if n := testing.AllocsPerRun(100, func() { pi.Probs(obs) }); n != 0 {
+		t.Errorf("PolicyInference.Probs allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { vi.Value(obs) }); n != 0 {
+		t.Errorf("ValueInference.Value allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { gi.Probs(obs) }); n != 0 {
+		t.Errorf("GreedyInference.Probs allocs/op = %v, want 0", n)
+	}
+}

@@ -119,6 +119,11 @@ func TrainValueOnDataset(ds []valueSample, cfg ValueTrainConfig) (*nn.Network, e
 	opt := nn.NewAdam(cfg.LR, 0, 0, 0)
 	shuffleRNG := stats.NewRNG(cfg.Seed ^ 0x5ff1e)
 
+	// Each sample's tape is consumed immediately, so one workspace
+	// serves the whole regression without per-step allocation.
+	ws := nn.NewWorkspace(net)
+	gradOut := linalg.NewVector(1)
+
 	for pass := 0; pass < cfg.Passes; pass++ {
 		order := shuffleRNG.Perm(len(ds))
 		for start := 0; start < len(order); start += cfg.BatchSize {
@@ -129,9 +134,10 @@ func TrainValueOnDataset(ds []valueSample, cfg ValueTrainConfig) (*nn.Network, e
 			net.ZeroGrad()
 			for _, idx := range order[start:end] {
 				s := ds[idx]
-				tape := net.ForwardTape(s.obs)
+				tape := net.ForwardTapeWS(ws, s.obs)
 				v := tape.Output()[0]
-				net.BackwardTape(tape, linalg.Vector{2 * (v - s.ret)})
+				gradOut[0] = 2 * (v - s.ret)
+				net.BackwardTapeWS(ws, tape, gradOut)
 			}
 			inv := 1 / float64(end-start)
 			for _, p := range net.Params() {

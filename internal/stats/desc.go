@@ -193,12 +193,18 @@ func (rw *RollingWindow) Full() bool { return rw.full }
 
 // Values returns the window contents ordered oldest to newest.
 func (rw *RollingWindow) Values() []float64 {
-	out := make([]float64, 0, len(rw.buf))
+	return rw.ValuesInto(make([]float64, 0, len(rw.buf)))
+}
+
+// ValuesInto appends the window contents, oldest to newest, to dst and
+// returns the extended slice. Passing a reused dst[:0] makes the call
+// allocation-free once dst has window capacity.
+func (rw *RollingWindow) ValuesInto(dst []float64) []float64 {
 	if len(rw.buf) < rw.cap {
-		return append(out, rw.buf...)
+		return append(dst, rw.buf...)
 	}
-	out = append(out, rw.buf[rw.next:]...)
-	return append(out, rw.buf[:rw.next]...)
+	dst = append(dst, rw.buf[rw.next:]...)
+	return append(dst, rw.buf[:rw.next]...)
 }
 
 // Mean returns the mean of the window contents.

@@ -43,8 +43,23 @@ func MeanDistribution(dists [][]float64) []float64 {
 	if len(dists) == 0 {
 		panic("stats: MeanDistribution of empty set")
 	}
+	return MeanDistributionInto(make([]float64, len(dists[0])), dists)
+}
+
+// MeanDistributionInto is MeanDistribution writing into a caller-owned
+// buffer of length len(dists[0]), for allocation-free hot paths. It
+// returns mean.
+func MeanDistributionInto(mean []float64, dists [][]float64) []float64 {
+	if len(dists) == 0 {
+		panic("stats: MeanDistribution of empty set")
+	}
 	n := len(dists[0])
-	mean := make([]float64, n)
+	if len(mean) != n {
+		panic("stats: MeanDistributionInto buffer length mismatch")
+	}
+	for i := range mean {
+		mean[i] = 0
+	}
 	for _, d := range dists {
 		if len(d) != n {
 			panic("stats: MeanDistribution length mismatch")
