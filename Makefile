@@ -4,12 +4,16 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet fmt-check race ci bench bench-hot
+# Version stamp baked into every binary (`osap-serve -version`).
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X osap/internal/buildinfo.Version=$(VERSION)"
+
+.PHONY: all build test verify vet fmt-check race ci bench bench-hot serve-bench
 
 all: build
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -40,3 +44,9 @@ bench:
 # measurements).
 bench-hot:
 	$(GO) test -run xxx -bench 'BenchmarkDecisionUS$$|BenchmarkDecisionUPi$$|BenchmarkDecisionUV$$|BenchmarkAgentInference$$|BenchmarkTrainOCSVM$$|BenchmarkFigure1$$' -benchmem .
+
+# Guard-server load benchmark: 1000 concurrent sessions against a
+# loopback osap-serve, graceful drain under load, results in
+# BENCH_serve.json.
+serve-bench:
+	$(GO) run $(LDFLAGS) ./cmd/osap-serve -selftest -bench-out BENCH_serve.json

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"osap/internal/abr"
+	"osap/internal/buildinfo"
 	"osap/internal/mdp"
 	"osap/internal/netem"
 	"osap/internal/stats"
@@ -25,7 +26,13 @@ func main() {
 	backend := flag.String("backend", "sim", "environment backend: sim (chunk-level) or packet (emulated)")
 	seed := flag.Uint64("seed", 1, "episode seed")
 	chunks := flag.Int("video-chunks", 48, "video length in chunks")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "abrsim")
+		return
+	}
 
 	if err := run(*dataset, *policy, *backend, *seed, *chunks); err != nil {
 		fmt.Fprintln(os.Stderr, "abrsim:", err)

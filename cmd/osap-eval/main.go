@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"osap/internal/buildinfo"
 	"osap/internal/experiments"
 	"osap/internal/trace"
 )
@@ -26,7 +27,13 @@ func main() {
 	scale := flag.String("scale", "quick", "run scale: paper or quick")
 	models := flag.String("models", "", "directory of pre-trained artifacts (optional)")
 	verbose := flag.Bool("v", false, "print progress")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "osap-eval")
+		return
+	}
 
 	if err := run(*trainDS, *testDS, *scale, *models, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "osap-eval:", err)

@@ -9,9 +9,12 @@
 //	osap-monitor -fit calibration.txt [-window 10] [-k 5] [-nu 0.05] [-l 3] < live_stream.txt
 //
 // Both inputs are one sample per line (blank lines and #-comments
-// ignored). Every out-of-distribution window is reported; when the
-// trigger fires the monitor prints an ALERT with the stream position.
-// Exit status is 2 if the trigger fired, 0 otherwise.
+// ignored). The stream is processed line by line as it arrives and
+// every report is flushed immediately, so the monitor works live on a
+// pipe (`tail -f metrics.log | osap-monitor -fit calib.txt`): each
+// out-of-distribution window is reported as it is detected, and when
+// the trigger fires the monitor prints an ALERT with the stream
+// position. Exit status is 2 if the trigger fired, 0 otherwise.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"osap"
+	"osap/internal/buildinfo"
 )
 
 func main() {
@@ -33,9 +37,18 @@ func main() {
 	nu := flag.Float64("nu", 0.05, "OC-SVM nu (upper bound on calibration outlier fraction)")
 	l := flag.Int("l", 3, "consecutive OOD windows required to alert")
 	quiet := flag.Bool("quiet", false, "only print the final alert/summary")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	fired, err := run(*fit, *window, *k, *nu, *l, *quiet, os.Stdin, os.Stdout)
+	if *version {
+		buildinfo.Print(os.Stdout, "osap-monitor")
+		return
+	}
+	// Line-buffer stdout so live reports survive piping: run flushes
+	// after every report it writes.
+	out := bufio.NewWriter(os.Stdout)
+	fired, err := run(*fit, *window, *k, *nu, *l, *quiet, os.Stdin, out)
+	out.Flush()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "osap-monitor:", err)
 		os.Exit(1)
@@ -92,8 +105,15 @@ func run(fitPath string, window, k int, nu float64, l int, quiet bool, stream io
 	if err != nil {
 		return false, err
 	}
+	// Flush after every report so the monitor is live when out is
+	// buffered (the CLI wraps stdout in a bufio.Writer).
+	flush := func() {}
+	if f, ok := out.(interface{ Flush() error }); ok {
+		flush = func() { f.Flush() } //nolint:errcheck // surfaced by the final flush
+	}
 	fmt.Fprintf(out, "fitted on %d calibration samples (%d features, %d SVs)\n",
 		len(calib), len(feats), model.NumSVs())
+	flush()
 
 	signal, err := osap.NewStateSignal(model, func(obs []float64) float64 { return obs[0] }, sigCfg)
 	if err != nil {
@@ -103,24 +123,41 @@ func run(fitPath string, window, k int, nu float64, l int, quiet bool, stream io
 	tc.L = l
 	trigger := osap.NewTrigger(tc)
 
-	samples, err := readSamples(stream)
-	if err != nil {
-		return false, fmt.Errorf("read stream: %w", err)
-	}
-	oodCount := 0
-	for i, v := range samples {
+	// Process the stream one line at a time as it arrives — never
+	// buffer the whole input — so reports appear while the producer is
+	// still running.
+	sc := bufio.NewScanner(stream)
+	samples, oodCount, lineNo := 0, 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return trigger.Fired(), fmt.Errorf("read stream: line %d: %w", lineNo, err)
+		}
+		i := samples
+		samples++
 		score := signal.Observe([]float64{v})
 		if score > 0.5 {
 			oodCount++
 			if !quiet {
 				fmt.Fprintf(out, "step %d: OOD (value %g)\n", i, v)
+				flush()
 			}
 		}
 		if trigger.Step(score) && trigger.FiredAtStep() == i {
 			fmt.Fprintf(out, "ALERT: distribution change at stream position %d\n", i)
+			flush()
 		}
 	}
+	if err := sc.Err(); err != nil {
+		return trigger.Fired(), fmt.Errorf("read stream: %w", err)
+	}
 	fmt.Fprintf(out, "processed %d samples: %d OOD windows, alert=%v\n",
-		len(samples), oodCount, trigger.Fired())
+		samples, oodCount, trigger.Fired())
+	flush()
 	return trigger.Fired(), nil
 }

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"osap/internal/stats"
 )
@@ -62,6 +66,97 @@ func TestMonitorAlertsOnShift(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ALERT") {
 		t.Error("no ALERT line printed")
+	}
+}
+
+// lockedBuffer is a goroutine-safe sink standing in for the terminal
+// on the far side of the bufio.Writer.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestMonitorLiveReportsBeforeEOF drives the monitor through an
+// io.Pipe, exactly as when fed by `tail -f`: reports must reach the
+// underlying sink (through the bufio.Writer, i.e. be flushed) while
+// the input side of the pipe is still open. The pre-streaming monitor
+// buffered everything until EOF and fails this test.
+func TestMonitorLiveReportsBeforeEOF(t *testing.T) {
+	fit := writeSeries(t, stats.Gamma{Shape: 2, Scale: 2}, 3000, 1)
+	pr, pw := io.Pipe()
+	sink := &lockedBuffer{}
+	out := bufio.NewWriter(sink)
+
+	type result struct {
+		fired bool
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		fired, err := run(fit, 10, 5, 0.05, 3, false, pr, out)
+		out.Flush()
+		done <- result{fired, err}
+	}()
+
+	// Feed clearly out-of-distribution samples one line at a time and
+	// wait for a flushed report before closing the pipe.
+	shifted := stats.Normal{Mu: 15, Sigma: 0.5}
+	rng := stats.NewRNG(9)
+	deadline := time.Now().Add(20 * time.Second)
+	reported := false
+	for i := 0; i < 5000 && !reported && time.Now().Before(deadline); i++ {
+		if _, err := fmt.Fprintf(pw, "%g\n", shifted.Sample(rng)); err != nil {
+			t.Fatalf("pipe write: %v", err)
+		}
+		// The monitor flushes synchronously right after consuming the
+		// line, but the pipe hand-off is asynchronous; poll briefly.
+		for j := 0; j < 100; j++ {
+			if s := sink.String(); strings.Contains(s, "OOD") || strings.Contains(s, "ALERT") {
+				reported = true
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if !reported {
+		pw.Close()
+		<-done
+		t.Fatalf("no report reached the sink before input EOF; sink:\n%s", sink.String())
+	}
+
+	// Keep the shift going long enough for the l-consecutive trigger,
+	// then end the stream.
+	for i := 0; i < 100; i++ {
+		if _, err := fmt.Fprintf(pw, "%g\n", shifted.Sample(rng)); err != nil {
+			t.Fatalf("pipe write: %v", err)
+		}
+	}
+	pw.Close()
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("run: %v", res.err)
+	}
+	if !res.fired {
+		t.Error("trigger did not fire on a sustained large shift")
+	}
+	final := sink.String()
+	if !strings.Contains(final, "ALERT") {
+		t.Errorf("no ALERT line in output:\n%s", final)
+	}
+	if !strings.Contains(final, "processed") {
+		t.Errorf("no final summary line in output:\n%s", final)
 	}
 }
 

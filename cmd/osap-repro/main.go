@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"osap/internal/buildinfo"
 	"osap/internal/experiments"
 	"osap/internal/trace"
 )
@@ -30,7 +31,13 @@ func main() {
 	models := flag.String("models", "", "directory of pre-trained artifacts (from osap-train)")
 	save := flag.String("save", "", "directory to persist trained artifacts into after the run")
 	verbose := flag.Bool("v", false, "print training/evaluation progress")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "osap-repro")
+		return
+	}
 
 	if err := run(*fig, *scale, *models, *save, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "osap-repro:", err)

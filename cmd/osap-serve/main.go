@@ -1,0 +1,302 @@
+// Command osap-serve is the multi-session online guard server: it
+// loads one training run's artifacts (agent ensemble, value ensemble,
+// OC-SVM, calibrated thresholds) and serves the paper's per-step
+// safety decision over HTTP to thousands of concurrent client
+// sessions.
+//
+// Serving a pre-trained model directory (written by osap-train):
+//
+//	osap-serve -models ./models -dataset norway -addr :8080
+//
+// With no -models directory the server trains quick-scale artifacts at
+// startup (useful for demos; takes a few seconds).
+//
+// API (JSON): POST /v1/sessions {"scheme":"ND"|"A-ensemble"|"V-ensemble"},
+// POST /v1/sessions/{id}/step {"obs":[...]}, POST /v1/sessions/{id}/reset,
+// DELETE /v1/sessions/{id}, GET /healthz, GET /metrics (Prometheus text).
+//
+// SIGINT/SIGTERM triggers graceful drain: admissions stop (503 +
+// Retry-After), in-flight steps finish, sessions close, and a final
+// metrics snapshot is written to stderr before exit.
+//
+// -selftest runs the built-in load harness instead of serving: it
+// boots the server on a loopback listener, replays throughput traces
+// as -clients concurrent synthetic viewers, drains gracefully under
+// load, verifies that no in-flight step was dropped, and writes
+// throughput/latency results to -bench-out (BENCH_serve.json).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"osap/internal/buildinfo"
+	"osap/internal/experiments"
+	"osap/internal/serve"
+	"osap/internal/serve/loadgen"
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	models := flag.String("models", "", "directory of pre-trained artifacts (osap-train output)")
+	dataset := flag.String("dataset", trace.DatasetNorway, "training distribution to serve")
+	maxSessions := flag.Int("max-sessions", 10000, "admission-control cap on live sessions (0 = unlimited)")
+	shards := flag.Int("shards", 64, "session-table shard count (rounded up to a power of two)")
+	ttl := flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
+	selftest := flag.Bool("selftest", false, "run the load-generator self-test instead of serving")
+	clients := flag.Int("clients", 1000, "selftest: concurrent synthetic viewers")
+	warmup := flag.Duration("warmup", 2*time.Second, "selftest: load duration before the measured window")
+	measure := flag.Duration("measure", 3*time.Second, "selftest: steady-state measurement window")
+	benchOut := flag.String("bench-out", "BENCH_serve.json", "selftest: result file")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "osap-serve")
+		return
+	}
+	cfg := serve.Config{
+		MaxSessions: *maxSessions,
+		Shards:      *shards,
+		SessionTTL:  *ttl,
+	}
+	var err error
+	if *selftest {
+		err = runSelfTest(cfg, *dataset, *models, *clients, *warmup, *measure, *benchOut)
+	} else {
+		err = runServer(*addr, cfg, *dataset, *models)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osap-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// loadFactory builds the guard factory: from a model directory when
+// given, otherwise by training quick-scale artifacts in process.
+func loadFactory(dataset, models string) (*serve.GuardFactory, error) {
+	labCfg := experiments.QuickConfig()
+	var arts *experiments.Artifacts
+	if models != "" {
+		path := filepath.Join(models, dataset+".json")
+		a, err := experiments.LoadArtifacts(path)
+		if err != nil {
+			return nil, err
+		}
+		arts = a
+	} else {
+		fmt.Fprintf(os.Stderr, "no -models directory: training quick-scale artifacts for %s...\n", dataset)
+		lab, err := experiments.NewLab(labCfg)
+		if err != nil {
+			return nil, err
+		}
+		lab.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+		arts, err = lab.Artifacts(dataset)
+		if err != nil {
+			return nil, err
+		}
+	}
+	k := labCfg.StateKSynthetic
+	if trace.IsEmpirical(dataset) {
+		k = labCfg.StateKEmpirical
+	}
+	gcfg := serve.GuardConfig{TriggerL: labCfg.TriggerL, Trim: labCfg.Trim}
+	gcfg.StateSignal.ThroughputWindow = labCfg.ThroughputWindow
+	gcfg.StateSignal.K = k
+	return serve.NewGuardFactory(arts, gcfg)
+}
+
+func runServer(addr string, cfg serve.Config, dataset, models string) error {
+	factory, err := loadFactory(dataset, models)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(factory, cfg)
+	if err != nil {
+		return err
+	}
+	srv.StartSweeper()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "osap-serve %s: serving %s artifacts on %s (schemes %v)\n",
+		buildinfo.Version, factory.Dataset(), addr, factory.Schemes())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "received %s: draining...\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	return httpSrv.Shutdown(ctx)
+}
+
+// benchResult is the BENCH_serve.json schema.
+type benchResult struct {
+	Bench             string  `json:"bench"`
+	Dataset           string  `json:"dataset"`
+	Clients           int     `json:"clients"`
+	SessionsCreated   int64   `json:"sessions_created"`
+	SessionsRejected  int64   `json:"sessions_rejected"`
+	StepsOK           int64   `json:"steps_ok"`
+	StepsDrained      int64   `json:"steps_drained"`
+	StepsDropped      int64   `json:"steps_dropped"`
+	Fallbacks         int64   `json:"fallback_steps"`
+	SteadyStateSec    float64 `json:"steady_state_window_sec"`
+	SteadyStateSteps  int64   `json:"steady_state_steps"`
+	ThroughputStepsPS float64 `json:"throughput_steps_per_sec"`
+	LatencyP50Usec    float64 `json:"latency_p50_us"`
+	LatencyP99Usec    float64 `json:"latency_p99_us"`
+	DrainedSessions   uint64  `json:"drained_sessions"`
+	GracefulShutdown  bool    `json:"graceful_shutdown_clean"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+}
+
+func runSelfTest(cfg serve.Config, dataset, models string, clients int, warmup, measure time.Duration, benchOut string) error {
+	if cfg.MaxSessions > 0 && cfg.MaxSessions < clients {
+		cfg.MaxSessions = clients
+	}
+	factory, err := loadFactory(dataset, models)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(factory, cfg)
+	if err != nil {
+		return err
+	}
+	srv.StartSweeper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
+	baseURL := "http://" + ln.Addr().String()
+
+	// Trace pool + video for the synthetic viewers: the quick-scale
+	// evaluation video over the served dataset's generator.
+	labCfg := experiments.QuickConfig()
+	gen, err := trace.GeneratorFor(dataset)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(20200713)
+	traces := make([]*trace.Trace, 16)
+	for i := range traces {
+		traces[i] = gen.Generate(rng, 200)
+	}
+
+	fmt.Fprintf(os.Stderr, "selftest: %d clients against %s (%s)\n", clients, baseURL, dataset)
+	lgCfg := loadgen.Config{
+		BaseURL: baseURL,
+		Clients: clients,
+		Schemes: factory.Schemes(),
+		Video:   labCfg.EvalVideo,
+		Traces:  traces,
+		Seed:    1,
+	}
+	resc := make(chan *loadgen.Result, 1)
+	lgErr := make(chan error, 1)
+	go func() {
+		res, err := loadgen.Run(context.Background(), lgCfg)
+		lgErr <- err
+		resc <- res
+	}()
+
+	// Warm up until the full fleet is admitted and stepping.
+	deadline := time.Now().Add(warmup + 30*time.Second)
+	for srv.Sessions() < clients && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	concurrent := srv.Sessions()
+	time.Sleep(warmup)
+
+	// Steady-state window measured by the server-side decision counter.
+	before := srv.Metrics().Decisions.Load()
+	winStart := time.Now()
+	time.Sleep(measure)
+	steadySteps := int64(srv.Metrics().Decisions.Load() - before)
+	window := time.Since(winStart)
+
+	// Drain gracefully while the fleet is still at full blast.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx, io.Discard); err != nil {
+		return fmt.Errorf("drain under load: %w", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-lgErr; err != nil {
+		return err
+	}
+	res := <-resc
+
+	clean := res.StepsDropped == 0 && int64(srv.Metrics().Decisions.Load()) == res.StepsOK
+	out := benchResult{
+		Bench:             "osap-serve selftest",
+		Dataset:           dataset,
+		Clients:           clients,
+		SessionsCreated:   res.SessionsCreated,
+		SessionsRejected:  res.SessionsRejected,
+		StepsOK:           res.StepsOK,
+		StepsDrained:      res.StepsDrained,
+		StepsDropped:      res.StepsDropped,
+		Fallbacks:         res.Fallbacks,
+		SteadyStateSec:    window.Seconds(),
+		SteadyStateSteps:  steadySteps,
+		ThroughputStepsPS: float64(steadySteps) / window.Seconds(),
+		LatencyP50Usec:    float64(res.LatencyQuantile(0.5).Microseconds()),
+		LatencyP99Usec:    float64(res.LatencyQuantile(0.99).Microseconds()),
+		DrainedSessions:   srv.Metrics().SessionsDrained.Load(),
+		GracefulShutdown:  clean,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(benchOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("selftest: %d concurrent sessions, %.0f steps/s steady state, p50 %v p99 %v, dropped %d\n",
+		concurrent, out.ThroughputStepsPS, res.LatencyQuantile(0.5), res.LatencyQuantile(0.99), res.StepsDropped)
+	fmt.Printf("wrote %s\n", benchOut)
+
+	if concurrent < clients {
+		return fmt.Errorf("only %d of %d clients were concurrently admitted", concurrent, clients)
+	}
+	if !clean {
+		return fmt.Errorf("selftest dropped %d steps (server served %d, clients saw %d ok)",
+			res.StepsDropped, srv.Metrics().Decisions.Load(), res.StepsOK)
+	}
+	return nil
+}

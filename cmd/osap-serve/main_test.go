@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"osap/internal/serve"
+	"osap/internal/trace"
+)
+
+// TestSelfTestSmallScale runs the full selftest harness — quick-scale
+// training, loopback server, synthetic viewer fleet, graceful drain
+// under load, bench-file write — at a CI-friendly scale.
+func TestSelfTestSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains quick-scale artifacts")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cfg := serve.Config{MaxSessions: 200, Shards: 16, SessionTTL: time.Minute}
+	err := runSelfTest(cfg, trace.DatasetGamma22, "", 40, 150*time.Millisecond, 250*time.Millisecond, out)
+	if err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br benchResult
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatalf("bench file does not parse: %v\n%s", err, data)
+	}
+	if br.SessionsCreated != 40 {
+		t.Errorf("sessions created = %d, want 40", br.SessionsCreated)
+	}
+	if br.StepsDropped != 0 {
+		t.Errorf("steps dropped = %d, want 0", br.StepsDropped)
+	}
+	if !br.GracefulShutdown {
+		t.Error("graceful shutdown not clean")
+	}
+	if br.ThroughputStepsPS <= 0 {
+		t.Errorf("throughput = %v, want > 0", br.ThroughputStepsPS)
+	}
+	if br.LatencyP99Usec < br.LatencyP50Usec {
+		t.Errorf("p99 %v < p50 %v", br.LatencyP99Usec, br.LatencyP50Usec)
+	}
+}
+
+func TestLoadFactoryUnknownDataset(t *testing.T) {
+	if _, err := loadFactory("not-a-dataset", ""); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

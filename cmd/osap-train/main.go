@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"osap/internal/buildinfo"
 	"osap/internal/experiments"
 	"osap/internal/trace"
 )
@@ -23,7 +24,13 @@ func main() {
 	scale := flag.String("scale", "paper", "run scale: paper or quick")
 	out := flag.String("out", "models", "output directory for artifacts")
 	verbose := flag.Bool("v", false, "print training progress")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "osap-train")
+		return
+	}
 
 	if err := run(*dataset, *scale, *out, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "osap-train:", err)

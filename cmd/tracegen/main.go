@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"osap/internal/buildinfo"
 	"osap/internal/stats"
 	"osap/internal/trace"
 )
@@ -27,7 +28,13 @@ func main() {
 	format := flag.String("format", "cooked", "output format: cooked or mahimahi")
 	out := flag.String("out", "", "output directory (default: single trace to stdout)")
 	inspect := flag.String("inspect", "", "print statistics of an existing cooked trace file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "tracegen")
+		return
+	}
 
 	if err := run(*dataset, *n, *duration, *seed, *format, *out, *inspect); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)

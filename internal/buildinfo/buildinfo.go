@@ -1,0 +1,21 @@
+// Package buildinfo carries the version stamp shared by every osap
+// binary. The Makefile injects the real value at link time:
+//
+//	go build -ldflags "-X osap/internal/buildinfo.Version=$(git describe)"
+//
+// Unstamped builds report "dev".
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// Version is the build's version string, settable via -ldflags -X.
+var Version = "dev"
+
+// Print writes the canonical one-line version banner for a command.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s (%s %s/%s)\n", cmd, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -39,20 +39,61 @@ func NewGuard(learned, def mdp.Policy, sig Signal, trig Triggerer) (*Guard, erro
 // oodmonitor example).
 func (g *Guard) RecordScores(on bool) { g.record = on }
 
-// Probs implements mdp.Policy: evaluate the signal on the current
-// observation, advance the trigger, and delegate to the appropriate
-// policy.
-func (g *Guard) Probs(obs []float64) []float64 {
+// Decision describes one guarded decision step: which policy acted and
+// why. It is the per-step metadata a serving front end needs to report
+// alongside the chosen action (see internal/serve).
+type Decision struct {
+	// Probs is the acting policy's action distribution. The slice may
+	// alias a buffer owned by that policy, valid until the guard's next
+	// decision; callers that retain it must copy.
+	Probs []float64
+	// Score is the raw uncertainty score the signal produced for this
+	// observation (0/1 for U_S, a continuous disagreement for U_π/U_V).
+	Score float64
+	// UsedDefault reports whether the default policy produced Probs.
+	UsedDefault bool
+	// Fired reports whether the trigger has fired at least once this
+	// episode (with a latched trigger this stays true after the first
+	// firing, so UsedDefault == Fired; unlatched triggers can recover).
+	Fired bool
+	// Step is the 0-based index of this decision within the episode.
+	Step int
+}
+
+// Policy names the policy that acted ("default" or "learned").
+func (d Decision) Policy() string {
+	if d.UsedDefault {
+		return "default"
+	}
+	return "learned"
+}
+
+// Decide evaluates the signal on the current observation, advances the
+// trigger, delegates to the appropriate policy and reports the full
+// per-step outcome. It is the metadata-carrying form of Probs.
+func (g *Guard) Decide(obs []float64) Decision {
 	score := g.Signal.Observe(obs)
 	if g.record {
 		g.scores = append(g.scores, score)
 	}
+	d := Decision{Score: score, Step: g.steps}
 	g.steps++
 	if g.Trigger.Step(score) {
 		g.defaulted++
-		return g.Default.Probs(obs)
+		d.UsedDefault = true
+		d.Probs = g.Default.Probs(obs)
+	} else {
+		d.Probs = g.Learned.Probs(obs)
 	}
-	return g.Learned.Probs(obs)
+	d.Fired = g.Trigger.Fired()
+	return d
+}
+
+// Probs implements mdp.Policy: evaluate the signal on the current
+// observation, advance the trigger, and delegate to the appropriate
+// policy.
+func (g *Guard) Probs(obs []float64) []float64 {
+	return g.Decide(obs).Probs
 }
 
 // Reset starts a new episode.

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -45,7 +46,15 @@ func (s *ChunkServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		for i := range buf {
 			buf[i] = byte(i)
 		}
+		ctx := r.Context()
 		for size > 0 {
+			// A throttled transfer can take seconds; bail between
+			// blocks once the client (or server shutdown) cancels.
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
 			n := size
 			if n > len(buf) {
 				n = len(buf)
@@ -90,8 +99,22 @@ func StartServerBurst(video *abr.Video, tr *trace.Trace, burst int64) (*Server, 
 	return &Server{URL: "http://" + ln.Addr().String(), srv: srv, ln: ln}, nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping any in-flight
+// transfers.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes right
+// away, in-flight chunk transfers are allowed to finish, and the call
+// returns once every connection is idle. If ctx expires first the
+// remaining connections are closed forcibly and ctx's error is
+// returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // best-effort teardown after ctx expiry
+	}
+	return err
+}
 
 // FetchResult describes one HTTP chunk download.
 type FetchResult struct {

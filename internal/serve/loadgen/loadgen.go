@@ -1,0 +1,302 @@
+// Package loadgen replays throughput traces as synthetic guard-server
+// clients: each client runs a private chunk-level ABR environment
+// (internal/abr) over the trace pool and asks a remote osap-serve
+// instance for every bitrate decision, exactly the round trip a real
+// player would make. It backs `osap-serve -selftest`, the serve
+// benchmarks and BENCH_serve.json.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"osap/internal/abr"
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent sessions to hold open.
+	Clients int
+	// StepsPerClient bounds each client's decisions (0 = run until the
+	// context is canceled or the server drains).
+	StepsPerClient int
+	// Schemes are assigned round-robin across clients (empty → ND).
+	Schemes []string
+	// Video is the content each synthetic client streams (required).
+	Video *abr.Video
+	// Traces is the throughput-trace pool clients replay (required).
+	Traces []*trace.Trace
+	// Seed derives the per-client RNGs.
+	Seed uint64
+	// Transport overrides the HTTP transport (nil → a transport sized
+	// for Clients concurrent loopback connections).
+	Transport http.RoundTripper
+}
+
+// Result aggregates a load run. A step is "dropped" only when a
+// request failed for a reason other than the server's explicit drain
+// signal (503 + draining, connection refused after shutdown, or a
+// session closed by drain) — with a graceful shutdown this must be 0.
+type Result struct {
+	SessionsCreated  int64
+	SessionsRejected int64 // 429s from admission control
+	StepsOK          int64
+	StepsDrained     int64 // refused by drain or shutdown (expected)
+	StepsDropped     int64 // hard failures (must be 0)
+	Fallbacks        int64 // steps served by the default policy
+	Elapsed          time.Duration
+	latencies        []time.Duration
+}
+
+// Throughput returns served steps per second over the run.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.StepsOK) / r.Elapsed.Seconds()
+}
+
+// LatencyQuantile returns the q-th (0..1) client-observed step latency.
+func (r *Result) LatencyQuantile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(r.latencies)))
+	if i >= len(r.latencies) {
+		i = len(r.latencies) - 1
+	}
+	return r.latencies[i]
+}
+
+// client is one synthetic viewer.
+type client struct {
+	cfg    *Config
+	http   *http.Client
+	scheme string
+	rng    *stats.RNG
+
+	sessionID string
+	env       *abr.Env
+	obs       []float64
+
+	stepsOK   int64
+	drained   int64
+	dropped   int64
+	fallbacks int64
+	latencies []time.Duration
+}
+
+type createResponse struct {
+	ID         string `json:"id"`
+	ObsDim     int    `json:"obs_dim"`
+	NumActions int    `json:"num_actions"`
+}
+
+type stepResponse struct {
+	Action   int  `json:"action"`
+	Fallback bool `json:"fallback"`
+}
+
+// isDrainSignal classifies request failures that a graceful shutdown
+// legitimately produces: the server's explicit 503/410, a connection
+// refused/reset once the listener is gone, or an idle keep-alive
+// connection closed under us. Timeouts and other errors are NOT drain
+// signals — they count as dropped steps.
+func isDrainSignal(status int, err error) bool {
+	if status == http.StatusServiceUnavailable || status == http.StatusGone {
+		return true
+	}
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "connection refused") ||
+		strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "server closed")
+}
+
+func (c *client) create(ctx context.Context) (int, error) {
+	body, _ := json.Marshal(map[string]string{"scheme": c.scheme})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.cfg.BaseURL+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusCreated {
+		return resp.StatusCode, fmt.Errorf("create: status %s", resp.Status)
+	}
+	var cr createResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return resp.StatusCode, err
+	}
+	c.sessionID = cr.ID
+	return resp.StatusCode, nil
+}
+
+// step posts the current observation and advances the local env with
+// the returned action.
+func (c *client) step(ctx context.Context) (ok bool) {
+	body, err := json.Marshal(map[string][]float64{"obs": c.obs})
+	if err != nil {
+		c.dropped++
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.cfg.BaseURL+"/v1/sessions/"+c.sessionID+"/step", bytes.NewReader(body))
+	if err != nil {
+		c.dropped++
+		return false
+	}
+	start := time.Now()
+	resp, err := c.http.Do(req)
+	lat := time.Since(start)
+	status := 0
+	if resp != nil {
+		status = resp.StatusCode
+		defer drainBody(resp)
+	}
+	if err != nil || status != http.StatusOK {
+		if ctx.Err() != nil || isDrainSignal(status, err) {
+			c.drained++
+		} else {
+			c.dropped++
+		}
+		return false
+	}
+	var sr stepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		c.dropped++
+		return false
+	}
+	c.stepsOK++
+	c.latencies = append(c.latencies, lat)
+	if sr.Fallback {
+		c.fallbacks++
+	}
+	next, _, done := c.env.Step(sr.Action)
+	if done {
+		c.obs = c.env.Reset(c.rng)
+	} else {
+		c.obs = next
+	}
+	return true
+}
+
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck
+	resp.Body.Close()
+}
+
+// Run drives cfg.Clients concurrent synthetic viewers until each has
+// taken StepsPerClient decisions, the context is canceled, or the
+// server drains. It returns aggregate counts and the merged, sorted
+// per-step latencies.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.BaseURL == "" || cfg.Clients <= 0 {
+		return nil, fmt.Errorf("loadgen: BaseURL and Clients are required")
+	}
+	if cfg.Video == nil || len(cfg.Traces) == 0 {
+		return nil, fmt.Errorf("loadgen: Video and Traces are required")
+	}
+	rt := cfg.Transport
+	if rt == nil {
+		rt = &http.Transport{
+			MaxIdleConns:        cfg.Clients + 16,
+			MaxIdleConnsPerHost: cfg.Clients + 16,
+			IdleConnTimeout:     30 * time.Second,
+		}
+	}
+	httpClient := &http.Client{Transport: rt, Timeout: 30 * time.Second}
+	schemes := cfg.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{"ND"}
+	}
+
+	res := &Result{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var created, rejected atomic.Int64
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &client{
+				cfg:    &cfg,
+				http:   httpClient,
+				scheme: schemes[i%len(schemes)],
+				rng:    stats.NewRNG(cfg.Seed ^ (uint64(i)*0x9E3779B97F4A7C15 + 1)),
+			}
+			envCfg := abr.DefaultEnvConfig(cfg.Video, cfg.Traces)
+			env, err := abr.NewEnv(envCfg)
+			if err != nil {
+				mu.Lock()
+				res.StepsDropped++
+				mu.Unlock()
+				return
+			}
+			c.env = env
+			c.obs = env.Reset(c.rng)
+
+			status, err := c.create(ctx)
+			if err != nil {
+				if status == http.StatusTooManyRequests {
+					rejected.Add(1)
+				} else if !isDrainSignal(status, err) && ctx.Err() == nil {
+					mu.Lock()
+					res.StepsDropped++ // count a failed create as a drop
+					mu.Unlock()
+				}
+				return
+			}
+			created.Add(1)
+			for n := 0; cfg.StepsPerClient == 0 || n < cfg.StepsPerClient; n++ {
+				if ctx.Err() != nil {
+					break
+				}
+				if !c.step(ctx) {
+					break
+				}
+			}
+			mu.Lock()
+			res.StepsOK += c.stepsOK
+			res.StepsDrained += c.drained
+			res.StepsDropped += c.dropped
+			res.Fallbacks += c.fallbacks
+			res.latencies = append(res.latencies, c.latencies...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.SessionsCreated = created.Load()
+	res.SessionsRejected = rejected.Load()
+	sort.Slice(res.latencies, func(a, b int) bool { return res.latencies[a] < res.latencies[b] })
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the fixed histogram bounds in seconds (upper
+// inclusive, Prometheus convention), spanning 10 µs to 1 s — the
+// plausible range for an in-process guard decision plus JSON framing.
+var latencyBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram in the
+// Prometheus cumulative style: counts[i] observations ≤ bucket i, with
+// a trailing +Inf bucket, plus a running sum of observed seconds.
+type Histogram struct {
+	counts []atomic.Uint64 // len(latencyBuckets)+1, last is +Inf
+	sum    atomic.Uint64   // math.Float64bits of the running sum
+	total  atomic.Uint64
+}
+
+// NewHistogram returns an empty latency histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+}
+
+// Observe records one latency in seconds.
+func (h *Histogram) Observe(sec float64) {
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sec)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed seconds.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates a quantile (0..1) by linear interpolation within
+// the containing bucket — the same estimate Prometheus' histogram_quantile
+// computes server-side. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			hi := 2 * lo // +Inf bucket: extrapolate one doubling
+			if i < len(latencyBuckets) {
+				hi = latencyBuckets[i]
+			}
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// Metrics aggregates the server's counters and per-endpoint latency
+// histograms. All fields are updated atomically; WriteProm renders the
+// Prometheus text exposition format (version 0.0.4).
+type Metrics struct {
+	SessionsCreated  atomic.Uint64
+	SessionsRejected atomic.Uint64 // admission-control 429s
+	SessionsEvicted  atomic.Uint64 // TTL sweeper
+	SessionsDeleted  atomic.Uint64 // explicit client DELETEs
+	SessionsDrained  atomic.Uint64 // closed by graceful shutdown
+	Decisions        atomic.Uint64 // steps served
+	Fallbacks        atomic.Uint64 // steps acted by the default policy
+	TriggerFirings   atomic.Uint64 // sessions whose trigger first fired
+	DrainRejected    atomic.Uint64 // requests refused while draining
+
+	mu        sync.Mutex
+	latencies map[string]*Histogram
+}
+
+// NewMetrics returns a zeroed metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{latencies: make(map[string]*Histogram)}
+}
+
+// Latency returns (creating on first use) the histogram for an
+// endpoint label ("create", "step", "delete", …).
+func (m *Metrics) Latency(endpoint string) *Histogram {
+	m.mu.Lock()
+	h, ok := m.latencies[endpoint]
+	if !ok {
+		h = NewHistogram()
+		m.latencies[endpoint] = h
+	}
+	m.mu.Unlock()
+	return h
+}
+
+// promFloat formats a float the way Prometheus expects (no exponent
+// mangling needed for our magnitudes; +Inf spelled literally).
+func promFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders all metrics in Prometheus text exposition format.
+// liveSessions is passed in because the session table owns that gauge.
+func (m *Metrics) WriteProm(w io.Writer, liveSessions int) error {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP osap_sessions_live Currently live guard sessions.\n")
+	fmt.Fprintf(w, "# TYPE osap_sessions_live gauge\nosap_sessions_live %d\n", liveSessions)
+
+	counter("osap_sessions_created_total", "Sessions admitted.", m.SessionsCreated.Load())
+	counter("osap_sessions_rejected_total", "Sessions refused by admission control.", m.SessionsRejected.Load())
+	counter("osap_sessions_evicted_total", "Sessions evicted by the idle-TTL sweeper.", m.SessionsEvicted.Load())
+	counter("osap_sessions_deleted_total", "Sessions deleted by clients.", m.SessionsDeleted.Load())
+	counter("osap_sessions_drained_total", "Sessions closed by graceful shutdown.", m.SessionsDrained.Load())
+	counter("osap_decisions_total", "Guarded decisions served.", m.Decisions.Load())
+	counter("osap_decisions_fallback_total", "Decisions acted by the default policy.", m.Fallbacks.Load())
+	counter("osap_trigger_firings_total", "Sessions whose safety trigger fired.", m.TriggerFirings.Load())
+	counter("osap_drain_rejected_total", "Requests refused while draining.", m.DrainRejected.Load())
+
+	// Stable endpoint order for deterministic output.
+	m.mu.Lock()
+	eps := make([]string, 0, len(m.latencies))
+	for ep := range m.latencies {
+		eps = append(eps, ep)
+	}
+	hists := make([]*Histogram, len(eps))
+	sort.Strings(eps)
+	for i, ep := range eps {
+		hists[i] = m.latencies[ep]
+	}
+	m.mu.Unlock()
+
+	if len(eps) > 0 {
+		fmt.Fprintf(w, "# HELP osap_request_duration_seconds Request latency by endpoint.\n")
+		fmt.Fprintf(w, "# TYPE osap_request_duration_seconds histogram\n")
+	}
+	for i, ep := range eps {
+		h := hists[i]
+		var cum uint64
+		for b := range h.counts {
+			cum += h.counts[b].Load()
+			le := math.Inf(+1)
+			if b < len(latencyBuckets) {
+				le = latencyBuckets[b]
+			}
+			fmt.Fprintf(w, "osap_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, promFloat(le), cum)
+		}
+		fmt.Fprintf(w, "osap_request_duration_seconds_sum{endpoint=%q} %s\n", ep, promFloat(h.Sum()))
+		fmt.Fprintf(w, "osap_request_duration_seconds_count{endpoint=%q} %d\n", ep, cum)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package serve hosts OSAP guards behind an HTTP front door: the online
+// safety decision of the paper (§2.5, §3.1) as a long-running,
+// multi-tenant service rather than an offline experiment loop.
+//
+// One process loads a training run's artifacts (agent ensemble, value
+// ensemble, OC-SVM) once and shares them read-only across thousands of
+// concurrent sessions. Each session owns a private core.Guard wired to
+// workspace-backed inference sessions (internal/rl), so the per-step
+// hot path stays allocation-free and single-goroutine per session while
+// the server as a whole scales across cores.
+//
+// Scaling machinery: a sharded session table (power-of-two shards,
+// per-shard RWMutex, FNV-1a hashed IDs) avoids a global lock; a
+// background sweeper evicts idle sessions after a TTL; admission
+// control caps live sessions (429 + Retry-After past the cap); and
+// graceful drain stops admissions, waits for in-flight steps, and
+// flushes a final metrics snapshot. Everything is stdlib-only.
+package serve
+
+import (
+	"fmt"
+
+	"osap/internal/abr"
+	"osap/internal/core"
+	"osap/internal/experiments"
+	"osap/internal/rl"
+)
+
+// Scheme names accepted at session creation, matching the paper's
+// figures (and internal/experiments).
+const (
+	SchemeND   = experiments.SchemeND   // U_S: OC-SVM state novelty
+	SchemeAEns = experiments.SchemeAEns // U_π: agent-ensemble disagreement
+	SchemeVEns = experiments.SchemeVEns // U_V: value-ensemble disagreement
+)
+
+// GuardConfig carries the per-deployment knobs a GuardFactory needs
+// beyond the trained artifacts themselves.
+type GuardConfig struct {
+	// StateSignal windows the U_S features; zero value is replaced by
+	// core.DefaultStateSignalConfig().
+	StateSignal core.StateSignalConfig
+	// TriggerL is the consecutive-steps requirement (0 → paper's 3).
+	TriggerL int
+	// Trim is the ensemble trimming rule; zero value is replaced by
+	// core.DefaultEnsembleConfig().
+	Trim core.EnsembleConfig
+}
+
+func (c GuardConfig) withDefaults() GuardConfig {
+	if c.StateSignal == (core.StateSignalConfig{}) {
+		c.StateSignal = core.DefaultStateSignalConfig()
+	}
+	if c.TriggerL == 0 {
+		c.TriggerL = 3
+	}
+	if c.Trim == (core.EnsembleConfig{}) {
+		c.Trim = core.DefaultEnsembleConfig()
+	}
+	return c
+}
+
+// GuardFactory builds per-session guards from one shared, read-only set
+// of trained artifacts. The artifacts (networks, OC-SVM support
+// vectors, calibrated thresholds) are never mutated after construction;
+// every NewGuard call creates private inference workspaces and signal
+// state, so each returned guard is single-goroutine as usual but any
+// number of guards can run concurrently.
+type GuardFactory struct {
+	arts *experiments.Artifacts
+	cfg  GuardConfig
+}
+
+// NewGuardFactory validates the artifacts against the config. The
+// OC-SVM dimension must match the U_S windowing, exactly as in
+// training.
+func NewGuardFactory(arts *experiments.Artifacts, cfg GuardConfig) (*GuardFactory, error) {
+	if arts == nil || len(arts.Agents) == 0 {
+		return nil, fmt.Errorf("serve: artifacts with at least one agent are required")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.StateSignal.Validate(); err != nil {
+		return nil, err
+	}
+	if arts.OCSVM != nil && arts.OCSVM.Dim != cfg.StateSignal.FeatureDim() {
+		return nil, fmt.Errorf("serve: OC-SVM dim %d != U_S feature dim %d",
+			arts.OCSVM.Dim, cfg.StateSignal.FeatureDim())
+	}
+	return &GuardFactory{arts: arts, cfg: cfg}, nil
+}
+
+// ObsDim returns the observation length the deployed agent expects.
+func (f *GuardFactory) ObsDim() int { return f.arts.Agents[0].Actor.InDim() }
+
+// NumActions returns the action-space size of the deployed agent.
+func (f *GuardFactory) NumActions() int { return f.arts.Agents[0].Actor.OutDim() }
+
+// Dataset names the training distribution behind the artifacts.
+func (f *GuardFactory) Dataset() string { return f.arts.Dataset }
+
+// Schemes lists the guard schemes this factory can build, given which
+// artifacts are present.
+func (f *GuardFactory) Schemes() []string {
+	var out []string
+	if f.arts.OCSVM != nil {
+		out = append(out, SchemeND)
+	}
+	if len(f.arts.Agents) >= 2 {
+		out = append(out, SchemeAEns)
+	}
+	if len(f.arts.ValueNets) >= 2 {
+		out = append(out, SchemeVEns)
+	}
+	return out
+}
+
+// NewGuard assembles a fresh guard for one session: the deployed agent
+// served greedily through a private workspace, the buffer-based policy
+// as the safe default, and the scheme's signal + trigger using the
+// calibrated thresholds stored in the artifacts. The returned guard is
+// single-goroutine; never share it across sessions.
+func (f *GuardFactory) NewGuard(scheme string) (*core.Guard, error) {
+	learned := rl.NewGreedyInference(f.arts.Agents[0])
+	def := abr.NewBBPolicy(f.NumActions())
+
+	var sig core.Signal
+	var trig *core.Trigger
+	switch scheme {
+	case SchemeND:
+		if f.arts.OCSVM == nil {
+			return nil, fmt.Errorf("serve: artifacts carry no OC-SVM model for %s", SchemeND)
+		}
+		s, err := core.NewStateSignal(f.arts.OCSVM, abr.LastThroughputMbps, f.cfg.StateSignal)
+		if err != nil {
+			return nil, err
+		}
+		sig = s
+		tc := core.StateTriggerConfig()
+		tc.L = f.cfg.TriggerL
+		trig = core.NewTrigger(tc)
+	case SchemeAEns:
+		if len(f.arts.Agents) < 2 {
+			return nil, fmt.Errorf("serve: %s needs an agent ensemble (have %d)", SchemeAEns, len(f.arts.Agents))
+		}
+		s, err := core.NewPolicySignal(rl.InferencePolicyEnsemble(f.arts.Agents), f.cfg.Trim)
+		if err != nil {
+			return nil, err
+		}
+		sig = s
+		trig = core.NewTrigger(core.VarianceTriggerConfig(f.arts.AlphaPi, f.cfg.TriggerL))
+	case SchemeVEns:
+		if len(f.arts.ValueNets) < 2 {
+			return nil, fmt.Errorf("serve: %s needs a value ensemble (have %d)", SchemeVEns, len(f.arts.ValueNets))
+		}
+		s, err := core.NewValueSignal(rl.InferenceValueEnsemble(f.arts.ValueNets), f.cfg.Trim)
+		if err != nil {
+			return nil, err
+		}
+		sig = s
+		trig = core.NewTrigger(core.VarianceTriggerConfig(f.arts.AlphaV, f.cfg.TriggerL))
+	default:
+		return nil, fmt.Errorf("serve: unknown scheme %q (want one of %v)", scheme, f.Schemes())
+	}
+	return core.NewGuard(learned, def, sig, trig)
+}

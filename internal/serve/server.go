@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// MaxSessions caps live sessions (≤ 0 = unlimited). Past the cap,
+	// session creation returns 429 with a Retry-After hint.
+	MaxSessions int
+	// Shards is the session-table shard count, rounded up to a power
+	// of two (0 → 64).
+	Shards int
+	// SessionTTL evicts sessions idle longer than this (0 → 5 min).
+	SessionTTL time.Duration
+	// SweepInterval paces the background eviction sweeper (0 → TTL/4,
+	// clamped to [100ms, 30s]).
+	SweepInterval time.Duration
+	// RetryAfter is the Retry-After hint on 429/503 (0 → 1s).
+	RetryAfter time.Duration
+	// Now injects a clock for tests (nil → time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 64
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = c.SessionTTL / 4
+		if c.SweepInterval < 100*time.Millisecond {
+			c.SweepInterval = 100 * time.Millisecond
+		}
+		if c.SweepInterval > 30*time.Second {
+			c.SweepInterval = 30 * time.Second
+		}
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the multi-session guard server: an http.Handler hosting
+// the JSON API plus /healthz and /metrics, a sharded session table
+// with TTL eviction, and a drain protocol for graceful shutdown.
+//
+//	POST   /v1/sessions            {"scheme":"ND"}        → 201 session
+//	GET    /v1/sessions/{id}       session snapshot
+//	POST   /v1/sessions/{id}/step  {"obs":[…]}            → decision
+//	POST   /v1/sessions/{id}/reset new episode, same session
+//	DELETE /v1/sessions/{id}       → 204
+//	GET    /healthz                liveness + drain state
+//	GET    /metrics                Prometheus text format
+type Server struct {
+	cfg     Config
+	factory *GuardFactory
+	table   *Table
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // step/create handlers in flight
+
+	sweepOnce sync.Once
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+
+	idCtr  atomic.Uint64
+	idSalt uint64
+}
+
+// NewServer builds a server around a guard factory.
+func NewServer(f *GuardFactory, cfg Config) (*Server, error) {
+	if f == nil {
+		return nil, fmt.Errorf("serve: NewServer requires a GuardFactory")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		factory:   f,
+		table:     NewTable(cfg.Shards, cfg.MaxSessions),
+		metrics:   NewMetrics(),
+		mux:       http.NewServeMux(),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+		idSalt:    rand.Uint64() | 1,
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.timed("create", s.handleCreate))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.timed("info", s.handleInfo))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.timed("step", s.handleStep))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/reset", s.timed("reset", s.handleReset))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.timed("delete", s.handleDelete))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Metrics exposes the server's metrics registry (for tests and the
+// final drain snapshot).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Sessions returns the live-session count.
+func (s *Server) Sessions() int { return s.table.Len() }
+
+// StartSweeper launches the background idle-eviction loop. Safe to
+// call once; Drain stops it.
+func (s *Server) StartSweeper() {
+	s.sweepOnce.Do(func() {
+		go func() {
+			defer close(s.sweepDone)
+			tick := time.NewTicker(s.cfg.SweepInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.sweepStop:
+					return
+				case <-tick.C:
+					n := s.table.Sweep(s.cfg.Now().Add(-s.cfg.SessionTTL))
+					s.metrics.SessionsEvicted.Add(uint64(n))
+				}
+			}
+		}()
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// timed wraps a handler with the per-endpoint latency histogram.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.Latency(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain performs graceful shutdown of the session layer: stop the
+// sweeper, refuse new sessions and new steps (503 + Retry-After), wait
+// for in-flight steps to finish (bounded by ctx), close every session,
+// and flush a final metrics snapshot to w (pass nil to skip).
+//
+// Callers running the server inside an http.Server should call
+// http.Server.Shutdown after Drain so the listener closes once the
+// application layer has quiesced.
+func (s *Server) Drain(ctx context.Context, w io.Writer) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("serve: already draining")
+	}
+	// Stop the sweeper (if it ever started).
+	s.sweepOnce.Do(func() { close(s.sweepDone) })
+	close(s.sweepStop)
+	<-s.sweepDone
+
+	// Wait for in-flight handlers, respecting the caller's deadline.
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+
+	drained := s.table.Clear()
+	s.metrics.SessionsDrained.Add(uint64(drained))
+	if w != nil {
+		fmt.Fprintf(w, "# osap-serve final metrics snapshot (drained %d sessions)\n", drained)
+		if werr := s.metrics.WriteProm(w, s.table.Len()); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// ---- request/response bodies ----
+
+type createRequest struct {
+	Scheme string `json:"scheme"`
+}
+
+type createResponse struct {
+	ID         string `json:"id"`
+	Scheme     string `json:"scheme"`
+	Dataset    string `json:"dataset"`
+	ObsDim     int    `json:"obs_dim"`
+	NumActions int    `json:"num_actions"`
+}
+
+type stepRequest struct {
+	Obs []float64 `json:"obs"`
+}
+
+type stepResponse struct {
+	Action   int     `json:"action"`
+	Score    float64 `json:"score"`
+	Fallback bool    `json:"fallback"`
+	Fired    bool    `json:"fired"`
+	Policy   string  `json:"policy"`
+	Step     int     `json:"step"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) rejectBusy(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	s.writeError(w, code, "%s", msg)
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		s.metrics.DrainRejected.Add(1)
+		s.rejectBusy(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req createRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil && err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Scheme == "" {
+		req.Scheme = SchemeND
+	}
+	guard, err := s.factory.NewGuard(req.Scheme)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	now := s.cfg.Now()
+	id := fmt.Sprintf("%x-%x", s.idSalt, s.idCtr.Add(1))
+	sess := newSession(id, req.Scheme, guard, now)
+	if err := s.table.Put(sess); err != nil {
+		if errors.Is(err, ErrTableFull) {
+			s.metrics.SessionsRejected.Add(1)
+			s.rejectBusy(w, http.StatusTooManyRequests, "session table full")
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.metrics.SessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, createResponse{
+		ID:         id,
+		Scheme:     req.Scheme,
+		Dataset:    s.factory.Dataset(),
+		ObsDim:     s.factory.ObsDim(),
+		NumActions: s.factory.NumActions(),
+	})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		s.metrics.DrainRejected.Add(1)
+		s.rejectBusy(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess, ok := s.table.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	var req stepRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Obs) != s.factory.ObsDim() {
+		s.writeError(w, http.StatusBadRequest, "obs has %d values, want %d", len(req.Obs), s.factory.ObsDim())
+		return
+	}
+	res, err := sess.Step(req.Obs, s.cfg.Now())
+	if err != nil {
+		s.writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	s.metrics.Decisions.Add(1)
+	if res.Decision.UsedDefault {
+		s.metrics.Fallbacks.Add(1)
+	}
+	if res.FirstFiring {
+		s.metrics.TriggerFirings.Add(1)
+	}
+	writeJSON(w, http.StatusOK, stepResponse{
+		Action:   res.Action,
+		Score:    res.Decision.Score,
+		Fallback: res.Decision.UsedDefault,
+		Fired:    res.Decision.Fired,
+		Policy:   res.Decision.Policy(),
+		Step:     res.Decision.Step,
+	})
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	sess, ok := s.table.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	if err := sess.Reset(s.cfg.Now()); err != nil {
+		s.writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.table.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Snapshot(s.cfg.Now()))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.table.Delete(r.PathValue("id")); !ok {
+		s.writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	s.metrics.SessionsDeleted.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":        status,
+		"dataset":       s.factory.Dataset(),
+		"schemes":       s.factory.Schemes(),
+		"live_sessions": s.table.Len(),
+		"shards":        s.table.Shards(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteProm(w, s.table.Len()) //nolint:errcheck // client went away
+}

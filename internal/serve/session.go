@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"osap/internal/core"
+	"osap/internal/mdp"
+)
+
+// ErrSessionClosed is returned by Session.Step after the session has
+// been deleted, evicted or drained.
+var ErrSessionClosed = errors.New("serve: session closed")
+
+// Session is one client's live guard: a private core.Guard (and thus
+// private inference workspaces and signal state) plus bookkeeping for
+// eviction and metrics. Steps on one session are serialized by its
+// mutex, matching the guard's single-goroutine contract; different
+// sessions are fully independent.
+type Session struct {
+	id     string
+	scheme string
+
+	mu     sync.Mutex
+	guard  *core.Guard
+	closed bool
+	steps  uint64
+	fired  bool
+
+	// lastUsed is the UnixNano of the latest touch, read lock-free by
+	// the eviction sweeper.
+	lastUsed atomic.Int64
+}
+
+// newSession wraps a guard. The caller owns ID uniqueness.
+func newSession(id, scheme string, g *core.Guard, now time.Time) *Session {
+	s := &Session{id: id, scheme: scheme, guard: g}
+	s.lastUsed.Store(now.UnixNano())
+	return s
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Scheme returns the uncertainty scheme the session was created with.
+func (s *Session) Scheme() string { return s.scheme }
+
+// StepResult is the outcome of one served decision.
+type StepResult struct {
+	// Action is the argmax of the acting policy's distribution — the
+	// level the client should fetch next.
+	Action int
+	// Decision carries the uncertainty score, the learned/default flag
+	// and the trigger state. Decision.Probs is cleared (it aliases the
+	// session's internal buffers and must not escape the step lock).
+	Decision core.Decision
+	// FirstFiring is true on the step where this session's trigger
+	// first fired (for the trigger-firings counter).
+	FirstFiring bool
+}
+
+// Step runs one guarded decision. now stamps the idle clock.
+func (s *Session) Step(obs []float64, now time.Time) (StepResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return StepResult{}, ErrSessionClosed
+	}
+	d := s.guard.Decide(obs)
+	res := StepResult{Action: mdp.ArgmaxAction(d.Probs), Decision: d}
+	res.Decision.Probs = nil
+	if d.Fired && !s.fired {
+		s.fired = true
+		res.FirstFiring = true
+	}
+	s.steps++
+	s.lastUsed.Store(now.UnixNano())
+	return res, nil
+}
+
+// Reset starts a new episode on the session's guard (e.g. the client
+// began a new video) without discarding the session.
+func (s *Session) Reset(now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.guard.Reset()
+	s.fired = false
+	s.lastUsed.Store(now.UnixNano())
+	return nil
+}
+
+// close marks the session unusable. Idempotent; reports whether this
+// call performed the close.
+func (s *Session) close() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	was := s.closed
+	s.closed = true
+	return !was
+}
+
+// idleSince reports the last-touch time.
+func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// Info is a read-only session snapshot for the GET endpoint.
+type Info struct {
+	ID       string `json:"id"`
+	Scheme   string `json:"scheme"`
+	Steps    uint64 `json:"steps"`
+	Fired    bool   `json:"fired"`
+	IdleMsec int64  `json:"idle_ms"`
+}
+
+// Snapshot captures the session's current state.
+func (s *Session) Snapshot(now time.Time) Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idle := now.Sub(time.Unix(0, s.lastUsed.Load()))
+	if idle < 0 {
+		idle = 0
+	}
+	return Info{
+		ID:       s.id,
+		Scheme:   s.scheme,
+		Steps:    s.steps,
+		Fired:    s.fired,
+		IdleMsec: idle.Milliseconds(),
+	}
+}
+
+// String implements fmt.Stringer for logs.
+func (s *Session) String() string {
+	return fmt.Sprintf("session %s (%s)", s.id, s.scheme)
+}

@@ -85,6 +85,10 @@ type (
 	TriggerConfig = core.TriggerConfig
 	// Guard is the safety-wrapped policy.
 	Guard = core.Guard
+	// Decision is the per-step outcome reported by Guard.Decide: the
+	// acting policy's distribution plus the uncertainty score, the
+	// learned/default flag and the trigger state.
+	Decision = core.Decision
 	// EpisodeResult summarizes one guarded episode.
 	EpisodeResult = core.EpisodeResult
 	// CalibrationResult reports a calibrated threshold.
