@@ -1,6 +1,6 @@
 # Developer entry points. `make ci` is the full gate: tier-1 verify
-# (build + all tests), vet, formatting, and the race-detector sweep
-# over the internal packages.
+# (build + all tests), vet, formatting, the osap-vet static analyzers
+# (DESIGN.md §8), and the race-detector sweep.
 
 GO ?= go
 
@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X osap/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build test verify vet fmt-check race ci bench bench-hot serve-bench
+.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench
 
 all: build
 
@@ -24,6 +24,12 @@ verify: build test
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analyzers: zero-alloc hot paths, 32-bit
+# atomic alignment, lock-copy hygiene, determinism (DESIGN.md §8).
+# Fixture packages under testdata/ are excluded by ./... expansion.
+lint:
+	$(GO) run ./cmd/osap-vet ./...
+
 # Fails if any file needs gofmt.
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -31,10 +37,12 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Race sweep over every package with tests: the root integration
+# package, the command smoke tests, and the internals.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race . ./cmd/... ./internal/...
 
-ci: verify vet fmt-check race
+ci: verify vet lint fmt-check race
 
 # Full benchmark suite (figures, ablations, latency).
 bench:

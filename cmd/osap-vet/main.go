@@ -1,0 +1,80 @@
+// Command osap-vet runs the project-specific static analyzers of
+// internal/analysis over the module: the zero-allocation hot-path
+// check, 32-bit atomic alignment, lock-copy hygiene, and the
+// determinism rules for the training/eval packages. It is the `make
+// lint` gate — any finding fails the build.
+//
+// Usage:
+//
+//	osap-vet [packages...]         # default ./...
+//	osap-vet -json ./internal/...  # machine-readable findings
+//	osap-vet -list                 # describe the analyzer suite
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"osap/internal/analysis"
+	"osap/internal/buildinfo"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "change to this directory before resolving package patterns")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "osap-vet")
+		return
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	code, err := run(os.Stdout, *dir, *jsonOut, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osap-vet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run loads the patterns, applies the analyzer suite, and writes
+// findings to w. It returns 1 if there were findings, 0 if clean.
+func run(w io.Writer, dir string, jsonOut bool, patterns []string) (int, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	diags := analysis.Run(pkgs, analysis.All())
+
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

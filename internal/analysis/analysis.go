@@ -1,0 +1,137 @@
+// Package analysis is osap's project-specific static-analysis
+// framework: a stdlib-only (go/ast, go/parser, go/types, go/token)
+// mini-vet that locks in the invariants the benchmarks and race sweeps
+// only spot-check — the allocation-free serving hot path, 32-bit
+// atomic alignment, lock-value hygiene, and deterministic
+// training/eval. cmd/osap-vet is the CLI front end; `make lint` runs
+// it over the whole module and fails the build on any finding.
+//
+// Two source directives drive the analyzers:
+//
+//	//osap:hotpath
+//	    In a function's doc comment: the function is part of the
+//	    per-step serving path and must not contain allocating
+//	    constructs (see the hotpath-alloc analyzer).
+//
+//	//osap:ignore <analyzer> <reason>
+//	    Suppresses diagnostics from <analyzer> on the directive's own
+//	    line and on the line directly below it. The reason is
+//	    mandatory: suppressions are documentation.
+//
+//	//osap:deterministic
+//	    In any file comment: marks the whole package as deterministic,
+//	    opting it into the nondeterminism analyzer (the core training
+//	    packages are opted in by import path, see nondet.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //osap:ignore
+	// directives (kebab-case, e.g. "hotpath-alloc").
+	Name string
+	// Doc is a one-line description for `osap-vet -list`.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotpathAlloc,
+		AtomicAlign,
+		MutexCopy,
+		Nondeterminism,
+	}
+}
+
+// Diagnostic is one finding, file/line/column-accurate.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the go-vet-style "file:line:col: [analyzer] message"
+// form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over every package, applies //osap:ignore
+// suppressions, and returns the surviving diagnostics sorted by file,
+// line and column. Malformed directives surface as diagnostics from
+// the pseudo-analyzer "directives" and cannot be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := scanDirectives(pkg)
+		out = append(out, dirs.malformed...)
+
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if dirs.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// funcDecls yields every function declaration with a body in the
+// package, paired with its file (analyzer helper).
+func (p *Package) funcDecls(f func(file *ast.File, fd *ast.FuncDecl)) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				f(file, fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicAlign guards the 32-bit alignment contract of the legacy
+// sync/atomic API: the first word of an allocated struct is 64-bit
+// aligned, but interior int64/uint64 fields are only 4-byte aligned on
+// 32-bit platforms. A field passed by address to a 64-bit atomic
+// (atomic.AddInt64(&s.n, 1), …) must therefore sit at an 8-byte offset
+// under 32-bit layout — in practice, first in its struct or behind
+// 8-byte-multiple predecessors. Fields of the atomic.Int64/Uint64
+// wrapper types need no check (they embed an alignment sentinel); the
+// server's metrics use those, and this analyzer keeps any future
+// legacy-style counter honest.
+var AtomicAlign = &Analyzer{
+	Name: "atomic-align",
+	Doc:  "int64/uint64 struct fields used with 64-bit sync/atomic ops must be 64-bit aligned under 32-bit layout",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic functions taking *int64/*uint64.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicAlign(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Fields whose address flows into a 64-bit atomic call.
+	used := map[*types.Var]bool{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomic64Funcs[fun.Sel.Name] {
+				return true
+			}
+			pkgID, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := info.ObjectOf(pkgID).(*types.PkgName); !ok || pn.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s := info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+				if f, ok := s.Obj().(*types.Var); ok {
+					used[f] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(used) == 0 {
+		return
+	}
+
+	// 32-bit layout: int64 alignment is 4, so interior fields can land
+	// at offset%8 == 4.
+	sizes := types.SizesFor("gc", "386")
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || st.NumFields() == 0 {
+			continue
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes.Offsetsof(fields)
+		for i, f := range fields {
+			if used[f] && offsets[i]%8 != 0 {
+				pass.Reportf(f.Pos(),
+					"field %s of %s is used with 64-bit sync/atomic ops but sits at offset %d under 32-bit layout; move it to the front of the struct (or use atomic.Int64/atomic.Uint64)",
+					f.Name(), tn.Name(), offsets[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive comment prefixes. They follow the Go convention for tool
+// directives: no space after "//".
+const (
+	hotpathDirective       = "//osap:hotpath"
+	ignoreDirective        = "//osap:ignore"
+	deterministicDirective = "//osap:deterministic"
+)
+
+// ignoreKey addresses one suppressible source line.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// directiveIndex is the per-package suppression table.
+type directiveIndex struct {
+	// ignores maps a (file, line) to the set of analyzer names
+	// suppressed there.
+	ignores map[ignoreKey]map[string]bool
+	// malformed collects diagnostics for unparsable directives.
+	malformed []Diagnostic
+}
+
+// scanDirectives walks every comment in the package and indexes the
+// //osap:ignore directives. A directive suppresses matching
+// diagnostics on its own line (trailing-comment form) and on the line
+// directly below (standalone-comment form).
+func scanDirectives(pkg *Package) *directiveIndex {
+	idx := &directiveIndex{ignores: map[ignoreKey]map[string]bool{}}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 || !knownAnalyzer(fields[0]) {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Analyzer: "directives",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //osap:ignore: want \"//osap:ignore <analyzer> <reason>\" with a known analyzer and a non-empty reason",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := ignoreKey{file: pos.Filename, line: line}
+					if idx.ignores[k] == nil {
+						idx.ignores[k] = map[string]bool{}
+					}
+					idx.ignores[k][fields[0]] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by an //osap:ignore.
+func (idx *directiveIndex) suppressed(d Diagnostic) bool {
+	return idx.ignores[ignoreKey{file: d.File, line: d.Line}][d.Analyzer]
+}
+
+// knownAnalyzer reports whether name is in the registered suite, so a
+// typo in an ignore directive fails loudly instead of silently
+// suppressing nothing.
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isHotpath reports whether fd's doc comment carries //osap:hotpath.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDeterministicPackage reports whether any file comment in the
+// package carries //osap:deterministic.
+func isDeterministicPackage(pkg *Package) bool {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, deterministicDirective) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

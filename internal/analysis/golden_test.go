@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGolden runs the full analyzer suite over each fixture package
+// and compares the findings against testdata/<name>.golden. Every
+// fixture seeds true violations and at least one //osap:ignore, so a
+// matching golden proves both detection and suppression.
+func TestGolden(t *testing.T) {
+	fixtures := []string{"hotpath", "atomicalign", "mutexcopy", "nondet"}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			pkgs, err := Load(".", "./testdata/src/"+name)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			diags := Run(pkgs, All())
+
+			cwd, err := os.Getwd()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				rel, err := filepath.Rel(cwd, d.File)
+				if err != nil {
+					rel = d.File
+				}
+				d.File = filepath.ToSlash(rel)
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenHasFindingsAndSuppressions sanity-checks the fixtures
+// themselves: each golden must contain its analyzer's findings, and
+// each fixture must exercise at least one suppression (a finding that
+// would appear without directives but does not).
+func TestGoldenHasFindingsAndSuppressions(t *testing.T) {
+	cases := map[string]string{
+		"hotpath":     "hotpath-alloc",
+		"atomicalign": "atomic-align",
+		"mutexcopy":   "mutex-copy",
+		"nondet":      "nondeterminism",
+	}
+	for name, analyzer := range cases {
+		pkgs, err := Load(".", "./testdata/src/"+name)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		withIgnores := Run(pkgs, All())
+		count := 0
+		for _, d := range withIgnores {
+			if d.Analyzer == analyzer {
+				count++
+			}
+		}
+		if count == 0 {
+			t.Errorf("%s: expected %s findings, got none", name, analyzer)
+		}
+
+		// Re-run with suppression disabled by counting raw reports.
+		raw := 0
+		for _, pkg := range pkgs {
+			var diags []Diagnostic
+			for _, a := range All() {
+				if a.Name != analyzer {
+					continue
+				}
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			}
+			raw += len(diags)
+		}
+		if raw <= count {
+			t.Errorf("%s: expected at least one suppressed %s finding (raw %d, surviving %d)", name, analyzer, raw, count)
+		}
+	}
+}
+
+// TestMalformedIgnoreDirective checks that a bad directive surfaces as
+// a "directives" diagnostic instead of silently suppressing nothing.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/baddirective")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := Run(pkgs, All())
+	foundMalformed := false
+	foundSurviving := false
+	for _, d := range diags {
+		if d.Analyzer == "directives" {
+			foundMalformed = true
+		}
+		if d.Analyzer == "nondeterminism" {
+			foundSurviving = true
+		}
+	}
+	if !foundMalformed {
+		t.Error("expected a directives diagnostic for the malformed //osap:ignore")
+	}
+	if !foundSurviving {
+		t.Error("expected the malformed ignore NOT to suppress the real finding")
+	}
+}

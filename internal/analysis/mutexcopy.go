@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags by-value copies of types that (transitively) hold a
+// sync or sync/atomic synchronization value: range-over-slice copies
+// (the sharded-table trap: `for _, sh := range t.shards`), plain
+// assignments from an existing value, and function parameters, results
+// or receivers declared by value. Fresh construction — composite
+// literals and constructor calls — is fine; copying a value that may
+// already be locked is not.
+var MutexCopy = &Analyzer{
+	Name: "mutex-copy",
+	Doc:  "no by-value copies of structs holding sync.Mutex/RWMutex/WaitGroup (and friends)",
+	Run:  runMutexCopy,
+}
+
+// syncValueTypes are the sync package types that must not be copied.
+var syncValueTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// atomicValueTypes are the sync/atomic wrapper types (all embed a
+// noCopy sentinel).
+var atomicValueTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func runMutexCopy(pass *Pass) {
+	info := pass.Pkg.Info
+	holds := newLockCache()
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				id, ok := x.Value.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := info.ObjectOf(id); obj != nil && holds.lockHolder(obj.Type()) {
+					pass.Reportf(x.Value.Pos(),
+						"range copies %s, which holds a lock; iterate by index and take a pointer (&xs[i])",
+						relType(pass, obj.Type()))
+				}
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, rhs := range x.Rhs {
+					checkCopySource(pass, holds, rhs, x.Lhs[i])
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) != len(x.Values) {
+					return true
+				}
+				for i, rhs := range x.Values {
+					checkCopySource(pass, holds, rhs, x.Names[i])
+				}
+			case *ast.FuncDecl:
+				checkFuncSig(pass, holds, x.Recv, x.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, holds, nil, x.Type)
+			}
+			return true
+		})
+	}
+}
+
+// checkCopySource flags rhs when it reads an existing lock-holding
+// value (ident, field, index or dereference). Fresh values from
+// composite literals or calls are allowed.
+func checkCopySource(pass *Pass, holds *lockCache, rhs, lhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pass.Pkg.Info.TypeOf(rhs)
+	if t == nil || !holds.lockHolder(t) {
+		return
+	}
+	if id, ok := rhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	pass.Reportf(rhs.Pos(), "assignment copies %s, which holds a lock; use a pointer", relType(pass, t))
+}
+
+// checkFuncSig flags by-value receivers, parameters and results of
+// lock-holding types.
+func checkFuncSig(pass *Pass, holds *lockCache, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Pkg.Info.TypeOf(field.Type)
+			if t == nil || !holds.lockHolder(t) {
+				continue
+			}
+			pass.Reportf(field.Type.Pos(), "%s passes %s by value, copying its lock; use a pointer", kind, relType(pass, t))
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// relType renders a type with package qualifiers relative to the
+// analyzed package, so in-package types print bare.
+func relType(pass *Pass, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pass.Pkg.Types))
+}
+
+// lockCache memoizes the "does this type hold a lock by value"
+// predicate, with cycle protection for recursive types.
+type lockCache struct {
+	memo map[types.Type]bool
+}
+
+func newLockCache() *lockCache { return &lockCache{memo: map[types.Type]bool{}} }
+
+func (c *lockCache) lockHolder(t types.Type) bool {
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // cycle guard; overwritten below
+	v := c.compute(t)
+	c.memo[t] = v
+	return v
+}
+
+func (c *lockCache) compute(t types.Type) bool {
+	switch x := t.(type) {
+	case *types.Named:
+		if pkg := x.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				if syncValueTypes[x.Obj().Name()] {
+					return true
+				}
+			case "sync/atomic":
+				if atomicValueTypes[x.Obj().Name()] {
+					return true
+				}
+			}
+		}
+		return c.lockHolder(x.Underlying())
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if c.lockHolder(x.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.lockHolder(x.Elem())
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+// Package atomicalign seeds 32-bit atomic-alignment violations for the
+// golden-file test.
+package atomicalign
+
+import "sync/atomic"
+
+// misaligned puts a bool ahead of 64-bit fields updated atomically:
+// under 32-bit layout n lands at offset 4 and m at offset 12.
+type misaligned struct {
+	ready bool
+	n     uint64
+	m     int64
+}
+
+func use(x *misaligned) {
+	atomic.AddUint64(&x.n, 1)
+	_ = atomic.LoadInt64(&x.m)
+	x.ready = true
+}
+
+// aligned keeps the atomic field first: clean.
+type aligned struct {
+	n     int64
+	ready bool
+}
+
+func useAligned(a *aligned) {
+	atomic.AddInt64(&a.n, 1)
+	a.ready = true
+}
+
+// passive has a misaligned int64 that is never touched atomically:
+// clean.
+type passive struct {
+	ready bool
+	n     int64
+}
+
+func usePassive(p *passive) { p.n++ }
+
+// suppressed demonstrates //osap:ignore on a known-bad layout.
+type suppressed struct {
+	pad bool
+	//osap:ignore atomic-align fixture demonstrates suppression
+	cnt int64
+}
+
+func bump(s *suppressed) { atomic.AddInt64(&s.cnt, 1) }

@@ -1,0 +1,13 @@
+// Package baddirective holds a malformed //osap:ignore: the analyzer
+// name is misspelled and there is no reason, so the directive must be
+// reported and the underlying finding must survive.
+//
+//osap:deterministic
+package baddirective
+
+import "time"
+
+func stamp() int64 {
+	//osap:ignore nondetreminism
+	return time.Now().UnixNano()
+}

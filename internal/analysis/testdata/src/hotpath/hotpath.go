@@ -1,0 +1,60 @@
+// Package hotpath seeds one violation per hotpath-alloc rule, plus the
+// sanctioned idioms, for the golden-file test.
+package hotpath
+
+import "fmt"
+
+type buf struct {
+	scratch []float64
+	out     []int
+}
+
+type point struct{ x, y float64 }
+
+// violate trips every hotpath-alloc rule once.
+//
+//osap:hotpath
+func violate(b *buf, n int, name string) float64 {
+	xs := make([]float64, n)
+	p := new(point)
+	b.out = append(b.out, n)
+	lit := []int{1, 2, 3}
+	m := map[string]int{"a": 1}
+	pp := &point{x: 1}
+	s := "id-" + name
+	f := func() float64 { return float64(n) }
+	_ = fmt.Sprintf("%d", n)
+	_, _, _, _, _, _ = xs, p, lit, m, pp, s
+	return f()
+}
+
+// clean exercises the sanctioned idioms: assertion guards, grow-once
+// scratch behind a cap() guard, reslice-to-zero appends, and struct
+// value literals. It must produce no findings.
+//
+//osap:hotpath
+func clean(b *buf, vals []float64) point {
+	if len(vals) == 0 {
+		panic("hotpath: empty input")
+	}
+	if cap(b.scratch) < len(vals) {
+		b.scratch = make([]float64, 0, len(vals))
+	}
+	s := b.scratch[:0]
+	for _, v := range vals {
+		s = append(s, v)
+	}
+	b.scratch = s
+	return point{x: s[0], y: s[len(s)-1]}
+}
+
+// record shows //osap:ignore suppressing a true finding.
+//
+//osap:hotpath
+func record(b *buf, n int) {
+	//osap:ignore hotpath-alloc diagnostics-only slice, disabled in serving
+	b.out = append(b.out, n)
+}
+
+// coldPath is unannotated: allocations here are nobody's business.
+func coldPath(n int) []int { return make([]int, n) }

@@ -1,0 +1,52 @@
+// Package mutexcopy seeds lock-copy violations for the golden-file
+// test.
+package mutexcopy
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type registry struct {
+	shards []shard
+}
+
+// sum trips the range-over-slice-of-shards trap.
+func sum(r *registry) int {
+	total := 0
+	for _, sh := range r.shards {
+		total += len(sh.m)
+	}
+	return total
+}
+
+// sumOK iterates by index and takes pointers: clean.
+func sumOK(r *registry) int {
+	total := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// dup copies a live shard through a dereference.
+func dup(s *shard) {
+	clone := *s
+	clone.m = nil
+}
+
+// lock passes a shard by value.
+func lock(s shard) int { return len(s.m) }
+
+// size copies the shard into a value receiver.
+func (s shard) size() int { return len(s.m) }
+
+// frozen demonstrates //osap:ignore on a deliberate by-value pass.
+//
+//osap:ignore mutex-copy fixture demonstrates suppression
+func frozen(s shard) int { return len(s.m) }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"osap/internal/mdp"
+	"osap/internal/ocsvm"
 	"osap/internal/stats"
 )
 
@@ -76,6 +77,82 @@ func TestValueSignalZeroAlloc(t *testing.T) {
 	if n := testing.AllocsPerRun(100, func() { sig.Observe(nil) }); n != 0 {
 		t.Errorf("ValueSignal.Observe allocs/op = %v, want 0", n)
 	}
+}
+
+// newAllocGuard builds a guard around sig with fixed learned/default
+// policies and the paper's trigger for that signal family.
+func newAllocGuard(t *testing.T, sig Signal, cfg TriggerConfig) *Guard {
+	t.Helper()
+	g, err := NewGuard(fixedPolicy{0.7, 0.2, 0.1}, fixedPolicy{0.1, 0.2, 0.7}, sig, NewTrigger(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// assertDecideZeroAlloc drives the guard through warmup steps, then
+// asserts steady-state Decide does not touch the heap. It dynamically
+// cross-validates what the hotpath-alloc static analyzer (cmd/osap-vet)
+// proves structurally over the annotated Decide call chain.
+func assertDecideZeroAlloc(t *testing.T, g *Guard, obs []float64) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		g.Decide(obs) // fill signal windows, size scratch buffers
+	}
+	if n := testing.AllocsPerRun(100, func() { g.Decide(obs) }); n != 0 {
+		t.Errorf("Guard.Decide allocs/op = %v, want 0", n)
+	}
+}
+
+// TestGuardDecideZeroAllocStateSignal covers U_S end to end: feature
+// tracking, a real trained OC-SVM decision, the consecutive trigger
+// and the policy delegation.
+func TestGuardDecideZeroAllocStateSignal(t *testing.T) {
+	cfg := StateSignalConfig{ThroughputWindow: 3, K: 2}
+	rng := stats.NewRNG(7)
+	thr := make([]float64, 400)
+	for i := range thr {
+		thr[i] = 2 + 0.3*rng.NormFloat64()
+	}
+	feats := BuildStateFeatures(thr, cfg)
+	model, err := ocsvm.Train(feats, ocsvm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := NewStateSignal(model, func(obs []float64) float64 { return obs[0] }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newAllocGuard(t, sig, StateTriggerConfig())
+	assertDecideZeroAlloc(t, g, []float64{2.1, 0, 0})
+}
+
+// TestGuardDecideZeroAllocPolicySignal covers U_π through the guard.
+func TestGuardDecideZeroAllocPolicySignal(t *testing.T) {
+	members := []mdp.Policy{
+		fixedPolicy{0.9, 0.05, 0.05},
+		fixedPolicy{0.05, 0.9, 0.05},
+		fixedPolicy{0.05, 0.05, 0.9},
+		fixedPolicy{1.0 / 3, 1.0 / 3, 1.0 / 3},
+		fixedPolicy{0.5, 0.25, 0.25},
+	}
+	sig, err := NewPolicySignal(members, DefaultEnsembleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newAllocGuard(t, sig, VarianceTriggerConfig(0.05, 3))
+	assertDecideZeroAlloc(t, g, []float64{1, 2, 3})
+}
+
+// TestGuardDecideZeroAllocValueSignal covers U_V through the guard.
+func TestGuardDecideZeroAllocValueSignal(t *testing.T) {
+	members := []mdp.ValueFn{fixedValue(0), fixedValue(10), fixedValue(20), fixedValue(-10), fixedValue(5)}
+	sig, err := NewValueSignal(members, DefaultEnsembleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newAllocGuard(t, sig, VarianceTriggerConfig(0.05, 3))
+	assertDecideZeroAlloc(t, g, []float64{1, 2, 3})
 }
 
 // TestPolicySignalScratchReuseIsDeterministic checks repeated Observe

@@ -33,6 +33,8 @@ func trimIndices(dists []float64, discard int) []int {
 // per-chunk signal evaluation stays off the heap. Stable insertion
 // sorts replace sort.SliceStable + sort.Ints — identical results, and
 // ensembles are tiny (n=5) so O(n²) is irrelevant.
+//
+//osap:hotpath
 func trimIndicesInto(idx []int, dists []float64, discard int) []int {
 	n := len(dists)
 	keep := n - discard
@@ -90,6 +92,8 @@ func NewPolicySignal(members []mdp.Policy, cfg EnsembleConfig) (*PolicySignal, e
 // Observe implements Signal. Steady-state calls are allocation-free:
 // member distributions, the ensemble mean, and the trim bookkeeping all
 // live in scratch buffers owned by the signal.
+//
+//osap:hotpath
 func (p *PolicySignal) Observe(obs []float64) float64 {
 	n := len(p.Members)
 	if cap(p.dists) < n {
@@ -167,6 +171,8 @@ func NewValueSignal(members []mdp.ValueFn, cfg EnsembleConfig) (*ValueSignal, er
 
 // Observe implements Signal. Steady-state calls are allocation-free,
 // mirroring PolicySignal.
+//
+//osap:hotpath
 func (v *ValueSignal) Observe(obs []float64) float64 {
 	n := len(v.Members)
 	if cap(v.vals) < n {

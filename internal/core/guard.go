@@ -71,9 +71,12 @@ func (d Decision) Policy() string {
 // Decide evaluates the signal on the current observation, advances the
 // trigger, delegates to the appropriate policy and reports the full
 // per-step outcome. It is the metadata-carrying form of Probs.
+//
+//osap:hotpath
 func (g *Guard) Decide(obs []float64) Decision {
 	score := g.Signal.Observe(obs)
 	if g.record {
+		//osap:ignore hotpath-alloc diagnostics-only recording, off in serving (RecordScores)
 		g.scores = append(g.scores, score)
 	}
 	d := Decision{Score: score, Step: g.steps}

@@ -98,6 +98,8 @@ func newFeatureTracker(cfg StateSignalConfig) *featureTracker {
 // while the windows are still filling. The returned slice is a buffer
 // owned by the tracker, valid until the next add; callers that retain
 // it must copy (BuildStateFeatures does).
+//
+//osap:hotpath
 func (f *featureTracker) add(sample float64) []float64 {
 	f.thrWin.Add(sample)
 	if f.thrWin.Len() < 2 {
@@ -169,6 +171,8 @@ func NewStateSignal(model *ocsvm.Model, extract func([]float64) float64, cfg Sta
 // Observe implements Signal: 1 if the windowed state features are
 // classified out-of-distribution, else 0. While the windows are filling
 // it reports 0 (no evidence of novelty yet).
+//
+//osap:hotpath
 func (s *StateSignal) Observe(obs []float64) float64 {
 	feat := s.tracker.add(s.Extract(obs))
 	if feat == nil {

@@ -82,6 +82,8 @@ func NewTrigger(cfg TriggerConfig) *Trigger {
 
 // Step ingests one uncertainty score and reports whether the system
 // should use the default policy for this step.
+//
+//osap:hotpath
 func (t *Trigger) Step(score float64) bool {
 	uncertain := false
 	if t.cfg.UseVariance {

@@ -5,6 +5,11 @@
 // the ND scheme in-distribution (§2.5), evaluates every scheme on every
 // (train, test) dataset pair, normalizes scores against Random (0) and
 // BB (1), and renders each of the paper's figures as a text table.
+//
+// Every artifact is a deterministic function of its seeds; cmd/osap-vet's
+// nondeterminism analyzer enforces that.
+//
+//osap:deterministic
 package experiments
 
 import (

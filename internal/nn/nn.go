@@ -15,6 +15,11 @@
 // (ForwardTape/BackwardTape + optimizer steps) mutates parameter
 // gradients and must be externally synchronized — the A2C trainer in
 // internal/rl performs all updates from a single goroutine.
+//
+// Given a seed, training and inference are bitwise deterministic;
+// cmd/osap-vet's nondeterminism analyzer enforces that.
+//
+//osap:deterministic
 package nn
 
 import (

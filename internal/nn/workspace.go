@@ -59,6 +59,8 @@ func (ws *Workspace) check(n *Network) {
 // ForwardWS runs inference through ws's buffers with zero heap
 // allocation. The returned vector aliases workspace memory and is valid
 // until the next use of ws. Results are bit-identical to Forward.
+//
+//osap:hotpath
 func (n *Network) ForwardWS(ws *Workspace, in linalg.Vector) linalg.Vector {
 	if len(in) != n.InDim() {
 		panic(fmt.Sprintf("nn: ForwardWS input dim %d, want %d", len(in), n.InDim()))

@@ -12,6 +12,12 @@
 // the KKT conditions at the unbounded support vectors. The decision function is
 // f(x) = Σ_i α_i K(x_i, x) − ρ, with f(x) ≥ 0 classifying x as
 // in-distribution (+1) and f(x) < 0 as an outlier (−1).
+//
+// Training is a deterministic function of the data, config and seed
+// (bit-identical for any worker count); cmd/osap-vet's nondeterminism
+// analyzer enforces that.
+//
+//osap:deterministic
 package ocsvm
 
 import (
@@ -380,6 +386,8 @@ func projectCappedSimplex(v []float64, c float64) {
 // The RBF distance uses the cached-norm expansion
 // ‖x−sv‖² = ‖x‖² + ‖sv‖² − 2⟨x,sv⟩ (clamped at 0 against rounding), so
 // each SV costs one dot product and the call never allocates.
+//
+//osap:hotpath
 func (m *Model) Decision(x []float64) float64 {
 	if len(x) != m.Dim {
 		panic(fmt.Sprintf("ocsvm: input dim %d, want %d", len(x), m.Dim))

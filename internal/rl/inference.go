@@ -28,6 +28,8 @@ func NewPolicyInference(ac *ActorCritic) *PolicyInference {
 
 // Probs implements mdp.Policy without heap allocation. The result is
 // bit-identical to ac.Probs.
+//
+//osap:hotpath
 func (p *PolicyInference) Probs(obs []float64) []float64 {
 	return p.ac.Actor.ForwardWS(p.ws, obs)
 }
@@ -46,6 +48,8 @@ func NewValueInference(net *nn.Network) *ValueInference {
 
 // Value implements mdp.ValueFn without heap allocation. The result is
 // bit-identical to NetValueFn.Value.
+//
+//osap:hotpath
 func (v *ValueInference) Value(obs []float64) float64 {
 	return v.net.ForwardWS(v.ws, obs)[0]
 }
@@ -68,6 +72,8 @@ func NewGreedyInference(ac *ActorCritic) *GreedyInference {
 
 // Probs implements mdp.Policy: a one-hot on the agent's argmax, valid
 // until the next call.
+//
+//osap:hotpath
 func (g *GreedyInference) Probs(obs []float64) []float64 {
 	probs := g.p.Probs(obs)
 	for i := range g.onehot {

@@ -5,6 +5,11 @@
 // agent does not expose its critic), and ensemble training (the paper's
 // U_π and U_V signals use ensembles of 5 members differing only in
 // network initialization, §2.4).
+//
+// Training and evaluation here are deterministic functions of their
+// seeds; cmd/osap-vet's nondeterminism analyzer enforces that.
+//
+//osap:deterministic
 package rl
 
 import (

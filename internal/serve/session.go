@@ -63,6 +63,8 @@ type StepResult struct {
 }
 
 // Step runs one guarded decision. now stamps the idle clock.
+//
+//osap:hotpath
 func (s *Session) Step(obs []float64, now time.Time) (StepResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
