@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X osap/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench
+.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench chaos
 
 all: build
 
@@ -58,3 +58,10 @@ bench-hot:
 # BENCH_serve.json.
 serve-bench:
 	$(GO) run $(LDFLAGS) ./cmd/osap-serve -selftest -bench-out BENCH_serve.json
+
+# Fault-injection selftest (DESIGN.md §9): 1000 concurrent sessions
+# with scripted inference panics, NaN/Inf scores, injected overload,
+# slow and aborting clients — run under the race detector. Asserts no
+# crash, no dropped step, exactly the scheduled demotions, clean drain.
+chaos:
+	$(GO) run -race $(LDFLAGS) ./cmd/osap-serve -chaos

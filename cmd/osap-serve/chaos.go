@@ -1,0 +1,197 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"osap/internal/abr"
+	"osap/internal/chaos"
+	"osap/internal/serve"
+	"osap/internal/serve/loadgen"
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+// runChaos is the fault-injection selftest behind -chaos: it boots the
+// server on a loopback listener with the scripted chaos schedule wired
+// into both injection seams (the guard hook and the HTTP middleware),
+// drives `clients` concurrent synthetic viewers — some with faulted
+// inference, some slow, some abandoning mid-run — through a fixed step
+// budget, and asserts the run's safety contract in closed form:
+//
+//   - the process never crashes (any panic escaping a handler fails
+//     the run outright),
+//   - no step is dropped: every client receives exactly its scheduled
+//     number of decisions despite injected 503s and delays,
+//   - exactly the scheduled sessions demote — never more, never fewer —
+//     and /metrics reports that exact count,
+//   - demotion is permanent: no session serves a learned decision
+//     after its fault,
+//   - the fleet reports degraded while demoted sessions live, and
+//     drains cleanly to zero.
+//
+// Chaos runs always use synthetic artifacts: the harness tests the
+// serving fabric, not model quality, and must boot in milliseconds.
+func runChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, seed uint64) error {
+	script := chaos.ServeScript(seed, stepsPerClient)
+	sched, err := chaos.NewSchedule(script)
+	if err != nil {
+		return err
+	}
+	arts, err := serve.SyntheticArtifacts(dataset, 3, seed)
+	if err != nil {
+		return err
+	}
+	factory, err := serve.NewGuardFactory(arts, serve.GuardConfig{})
+	if err != nil {
+		return err
+	}
+	if cfg.MaxSessions > 0 && cfg.MaxSessions < clients {
+		cfg.MaxSessions = clients
+	}
+	cfg.WrapGuard = sched.WrapGuard
+	srv, err := serve.NewServer(factory, cfg)
+	if err != nil {
+		return err
+	}
+	srv.StartSweeper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: sched.Middleware(srv)}
+	go httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
+	baseURL := "http://" + ln.Addr().String()
+
+	gen, err := trace.GeneratorFor(dataset)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(seed)
+	traces := make([]*trace.Trace, 16)
+	for i := range traces {
+		traces[i] = gen.Generate(rng, 200)
+	}
+
+	faulted := sched.FaultedSessions(clients)
+	wantSteps := sched.ExpectedSteps(clients, stepsPerClient)
+	fmt.Fprintf(os.Stderr, "chaos: %d clients × %d steps against %s (seed %d): %d faulted sessions scheduled, %d total steps expected\n",
+		clients, stepsPerClient, baseURL, seed, faulted, wantSteps)
+
+	start := time.Now()
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:        baseURL,
+		Clients:        clients,
+		StepsPerClient: stepsPerClient,
+		Schemes:        factory.Schemes(),
+		Video:          abr.SyntheticVideo(seed, 24, 4),
+		Traces:         traces,
+		Seed:           seed,
+		Backoff:        &loadgen.Backoff{Retries: 8},
+		ClientDelay:    func(i int) time.Duration { return sched.ClientPlan(i).SlowDelay },
+		AbortStep:      func(i int) int { return sched.ClientPlan(i).AbortStep },
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: loadgen: %w", err)
+	}
+
+	// The fleet is quiescent but not yet drained: this is the degraded
+	// steady state the health and metrics endpoints must report.
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	if res.SessionsCreated != int64(clients) {
+		fail("created %d of %d sessions", res.SessionsCreated, clients)
+	}
+	if res.StepsDropped != 0 {
+		fail("dropped %d steps, want 0", res.StepsDropped)
+	}
+	if res.StepsOK != wantSteps {
+		fail("served %d steps, schedule requires exactly %d", res.StepsOK, wantSteps)
+	}
+	if res.DemotionViolations != 0 {
+		fail("%d decisions served by a learned policy after demotion, want 0", res.DemotionViolations)
+	}
+	if res.SessionsDemoted != int64(faulted) {
+		fail("clients observed %d demoted sessions, schedule faulted exactly %d", res.SessionsDemoted, faulted)
+	}
+	m := srv.Metrics()
+	if got := m.SessionsDemoted.Load(); got != uint64(faulted) {
+		fail("server demoted %d sessions, schedule faulted exactly %d", got, faulted)
+	}
+	if got := m.PanicsRecovered.Load() + m.NonFiniteScores.Load(); got != uint64(faulted) {
+		fail("demotion causes sum to %d, want %d", got, faulted)
+	}
+	if got := int64(m.Decisions.Load()); got != res.StepsOK {
+		fail("server counted %d decisions, clients saw %d", got, res.StepsOK)
+	}
+	if got := srv.DemotedLive(); got != int64(faulted) {
+		fail("demoted-live gauge %d before drain, want %d", got, faulted)
+	}
+
+	if body, err := scrape(baseURL + "/healthz"); err != nil {
+		fail("healthz: %v", err)
+	} else if faulted > 0 && !strings.Contains(body, `"status":"degraded"`) {
+		fail("healthz did not report degraded: %s", strings.TrimSpace(body))
+	}
+	wantLine := fmt.Sprintf("osap_sessions_demoted_total %d", faulted)
+	if body, err := scrape(baseURL + "/metrics"); err != nil {
+		fail("metrics: %v", err)
+	} else if !strings.Contains(body, wantLine+"\n") {
+		fail("metrics missing %q", wantLine)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx, io.Discard); err != nil {
+		fail("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fail("http shutdown: %v", err)
+	}
+	if got := srv.DemotedLive(); got != 0 {
+		fail("demoted-live gauge %d after drain, want 0", got)
+	}
+	if got := m.SessionsDrained.Load(); got != uint64(clients) {
+		fail("drained %d sessions, want %d", got, clients)
+	}
+
+	fmt.Printf("chaos: %d steps ok, %d dropped, %d retries, %d/%d sessions demoted (%d panics, %d non-finite), %d degraded decisions, drained clean in %v\n",
+		res.StepsOK, res.StepsDropped, res.Retries, m.SessionsDemoted.Load(), clients,
+		m.PanicsRecovered.Load(), m.NonFiniteScores.Load(), m.DegradedSteps.Load(), time.Since(start).Round(time.Millisecond))
+	if len(failures) > 0 {
+		return fmt.Errorf("chaos: %d assertion(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Println("chaos: all assertions passed")
+	return nil
+}
+
+// scrape GETs a URL, retrying rejections the chaos middleware itself
+// injects (it wraps every endpoint, including the ones we assert on).
+func scrape(url string) (string, error) {
+	var lastStatus int
+	for attempt := 0; attempt < 10; attempt++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			return "", err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return string(body), nil
+		}
+		lastStatus = resp.StatusCode
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "", fmt.Errorf("GET %s: status %d after retries", url, lastStatus)
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"osap/internal/serve"
+	"osap/internal/trace"
+)
+
+// TestChaosSmallScale runs the full fault-injection harness — scripted
+// inference panics, NaN/Inf scores, injected 503s and delays, slow and
+// aborting clients, degraded-mode assertions, clean drain — at a
+// CI-friendly scale. The full-scale run is `make chaos`.
+func TestChaosSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a loopback viewer fleet")
+	}
+	cfg := serve.Config{MaxSessions: 100, Shards: 16, SessionTTL: time.Minute}
+	if err := runChaos(cfg, trace.DatasetGamma22, 60, 24, 7); err != nil {
+		t.Fatalf("chaos selftest: %v", err)
+	}
+}

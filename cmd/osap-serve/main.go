@@ -58,7 +58,10 @@ func main() {
 	shards := flag.Int("shards", 64, "session-table shard count (rounded up to a power of two)")
 	ttl := flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
 	selftest := flag.Bool("selftest", false, "run the load-generator self-test instead of serving")
-	clients := flag.Int("clients", 1000, "selftest: concurrent synthetic viewers")
+	chaosTest := flag.Bool("chaos", false, "run the fault-injection self-test instead of serving")
+	chaosSeed := flag.Uint64("chaos-seed", 20200713, "chaos: fault-schedule seed")
+	chaosSteps := flag.Int("chaos-steps", 48, "chaos: decisions per client")
+	clients := flag.Int("clients", 1000, "selftest/chaos: concurrent synthetic viewers")
 	warmup := flag.Duration("warmup", 2*time.Second, "selftest: load duration before the measured window")
 	measure := flag.Duration("measure", 3*time.Second, "selftest: steady-state measurement window")
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selftest: result file")
@@ -75,9 +78,12 @@ func main() {
 		SessionTTL:  *ttl,
 	}
 	var err error
-	if *selftest {
+	switch {
+	case *chaosTest:
+		err = runChaos(cfg, *dataset, *clients, *chaosSteps, *chaosSeed)
+	case *selftest:
 		err = runSelfTest(cfg, *dataset, *models, *clients, *warmup, *measure, *benchOut)
-	} else {
+	default:
 		err = runServer(*addr, cfg, *dataset, *models)
 	}
 	if err != nil {

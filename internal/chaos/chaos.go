@@ -1,0 +1,314 @@
+// Package chaos is the repo's deterministic fault-injection framework:
+// the systems-layer counterpart of the paper's uncertainty injection.
+// The paper asks "what happens when the learned component meets inputs
+// it was not trained for?"; this package asks the same question of the
+// serving stack itself — what happens when inference panics, a NaN
+// leaks out of a workspace, an artifact file loses a bit, the server
+// is overloaded, or a client stalls mid-transfer — and lets the
+// selftest harness (`osap-serve -chaos`) prove the answer is "degrade
+// to the safe policy, never crash, never drop a step".
+//
+// Everything is derived from a seed by stateless hashing, so a fault
+// schedule is a pure function of (seed, index): two runs with the same
+// seed inject exactly the same faults, and assertions can be computed
+// in closed form (FaultedSessions, ExpectedSteps) instead of sampled.
+//
+// Production builds pay zero cost: the serving stack never imports
+// this package. Injection happens behind two small seams — the
+// serve.Config.WrapGuard hook (one nil check at session creation) and
+// an optional http.Handler middleware — both absent from production
+// wiring.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"osap/internal/core"
+)
+
+// Kind enumerates the injectable per-session inference faults.
+type Kind uint8
+
+const (
+	// None marks a clean session.
+	None Kind = iota
+	// PanicObserve panics inside Signal.Observe — a crash anywhere in
+	// the per-step inference stack (nn workspaces, OC-SVM kernels,
+	// ensemble bookkeeping all run under it).
+	PanicObserve
+	// NaNScore returns NaN from Signal.Observe — a poisoned inference
+	// output reaching the guard.
+	NaNScore
+	// InfScore returns +Inf from Signal.Observe.
+	InfScore
+)
+
+// String names the fault kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case PanicObserve:
+		return "panic"
+	case NaNScore:
+		return "nan"
+	case InfScore:
+		return "inf"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// SessionFault schedules one demoting fault within a session's step
+// stream. Step is the 0-based guard decision at which it fires.
+type SessionFault struct {
+	Kind Kind
+	Step int
+}
+
+// SessionPlan is everything the schedule injects into one session:
+// at most one demoting fault, plus optional recurring latency spikes
+// (sleep SpikeDelay on every step ≡ SpikePhase mod SpikeEvery).
+type SessionPlan struct {
+	Fault      SessionFault
+	SpikeEvery int
+	SpikePhase int
+	SpikeDelay time.Duration
+}
+
+// Clean reports whether the plan injects nothing.
+func (p SessionPlan) Clean() bool { return p.Fault.Kind == None && p.SpikeEvery == 0 }
+
+// ClientPlan is the client-side misbehavior assigned to one loadgen
+// client: an artificial pause before every request (slow client), and
+// an early abandonment point (the viewer closes the tab without
+// deleting its session).
+type ClientPlan struct {
+	SlowDelay time.Duration
+	AbortStep int
+}
+
+// Config parameterizes a Schedule. All "Every" knobs are 1-in-N rates
+// (0 disables that fault class); step bounds are inclusive.
+type Config struct {
+	// Seed derives the entire schedule.
+	Seed uint64
+
+	// FaultEvery gives 1 in N sessions a demoting inference fault
+	// (kind cycled among panic/NaN/Inf) at a step drawn uniformly from
+	// [FaultStepMin, FaultStepMax].
+	FaultEvery   int
+	FaultStepMin int
+	FaultStepMax int
+
+	// SpikeSessionEvery gives 1 in N sessions recurring latency spikes
+	// of SpikeDelay on every SpikeStepEvery-th step.
+	SpikeSessionEvery int
+	SpikeStepEvery    int
+	SpikeDelay        time.Duration
+
+	// RejectEvery makes the HTTP middleware reject 1 in N requests
+	// with an injected 503 + Retry-After (overload); DelayEvery makes
+	// it stall 1 in N requests by Delay before forwarding.
+	RejectEvery int
+	DelayEvery  int
+	Delay       time.Duration
+
+	// SlowClientEvery marks 1 in N clients slow (SlowClientDelay pause
+	// before every request); AbortEvery makes 1 in N clients abandon
+	// their session after a step drawn from [AbortStepMin,
+	// AbortStepMax].
+	SlowClientEvery int
+	SlowClientDelay time.Duration
+	AbortEvery      int
+	AbortStepMin    int
+	AbortStepMax    int
+}
+
+// Validate checks rate/bound consistency. Beyond well-formedness it
+// enforces the invariant the exact-demotion assertion rests on: every
+// demoting fault must fire before any client can abort, so a faulted
+// session is always demoted before its client stops stepping.
+func (c Config) Validate() error {
+	if c.FaultEvery < 0 || c.SpikeSessionEvery < 0 || c.RejectEvery < 0 ||
+		c.DelayEvery < 0 || c.SlowClientEvery < 0 || c.AbortEvery < 0 {
+		return fmt.Errorf("chaos: negative 1-in-N rate")
+	}
+	if c.FaultEvery > 0 {
+		if c.FaultStepMin < 0 || c.FaultStepMax < c.FaultStepMin {
+			return fmt.Errorf("chaos: fault step range [%d, %d] invalid", c.FaultStepMin, c.FaultStepMax)
+		}
+	}
+	if c.SpikeSessionEvery > 0 && c.SpikeStepEvery < 1 {
+		return fmt.Errorf("chaos: SpikeStepEvery %d < 1", c.SpikeStepEvery)
+	}
+	if c.AbortEvery > 0 {
+		if c.AbortStepMin < 1 || c.AbortStepMax < c.AbortStepMin {
+			return fmt.Errorf("chaos: abort step range [%d, %d] invalid", c.AbortStepMin, c.AbortStepMax)
+		}
+		if c.FaultEvery > 0 && c.FaultStepMax >= c.AbortStepMin {
+			return fmt.Errorf("chaos: fault steps reach %d but clients may abort at %d; faults must fire first",
+				c.FaultStepMax, c.AbortStepMin)
+		}
+	}
+	return nil
+}
+
+// ServeScript is the scripted schedule behind `osap-serve -chaos`:
+// 1 in 8 sessions suffers a demoting inference fault in the first half
+// of its life, 1 in 5 gets periodic latency spikes, roughly 2% of
+// requests are rejected with an injected 503 and 2% are delayed, 1 in
+// 7 clients is slow, and 1 in 9 abandons its session in the final
+// quarter of the run. Fault steps stay strictly below every abort
+// step, so a clean run demotes exactly the faulted sessions.
+func ServeScript(seed uint64, stepsPerClient int) Config {
+	if stepsPerClient < 8 {
+		stepsPerClient = 8
+	}
+	return Config{
+		Seed:         seed,
+		FaultEvery:   8,
+		FaultStepMin: 2,
+		FaultStepMax: stepsPerClient / 2,
+
+		SpikeSessionEvery: 5,
+		SpikeStepEvery:    8,
+		SpikeDelay:        2 * time.Millisecond,
+
+		RejectEvery: 53,
+		DelayEvery:  47,
+		Delay:       3 * time.Millisecond,
+
+		SlowClientEvery: 7,
+		SlowClientDelay: time.Millisecond,
+		AbortEvery:      9,
+		AbortStepMin:    stepsPerClient/2 + 1,
+		AbortStepMax:    stepsPerClient,
+	}
+}
+
+// Schedule is a validated, immutable fault schedule. Safe for
+// concurrent use: every lookup is a pure hash of (seed, index).
+type Schedule struct {
+	cfg Config
+}
+
+// NewSchedule validates cfg and wraps it.
+func NewSchedule(cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Schedule{cfg: cfg}, nil
+}
+
+// Config returns the schedule's configuration.
+func (s *Schedule) Config() Config { return s.cfg }
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed bijection used to derive every schedule decision
+// statelessly.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Independent decision streams, so e.g. "is this session faulted" and
+// "which kind" are uncorrelated draws.
+const (
+	saltFault     = 0xFA01
+	saltKind      = 0xFA02
+	saltStep      = 0xFA03
+	saltSpike     = 0xFA04
+	saltPhase     = 0xFA05
+	saltSlow      = 0xC101
+	saltAbort     = 0xC102
+	saltAbortStep = 0xC103
+)
+
+func (s *Schedule) draw(salt, idx uint64) uint64 {
+	return splitmix64(splitmix64(idx+1) ^ s.cfg.Seed ^ salt)
+}
+
+func oneIn(n int, draw uint64) bool {
+	return n > 0 && draw%uint64(n) == 0
+}
+
+// SessionPlan returns the faults injected into the idx-th created
+// session (0-based creation order).
+func (s *Schedule) SessionPlan(idx uint64) SessionPlan {
+	c := s.cfg
+	var p SessionPlan
+	if oneIn(c.FaultEvery, s.draw(saltFault, idx)) {
+		kinds := [3]Kind{PanicObserve, NaNScore, InfScore}
+		p.Fault.Kind = kinds[s.draw(saltKind, idx)%3]
+		span := uint64(c.FaultStepMax - c.FaultStepMin + 1)
+		p.Fault.Step = c.FaultStepMin + int(s.draw(saltStep, idx)%span)
+	}
+	if oneIn(c.SpikeSessionEvery, s.draw(saltSpike, idx)) {
+		p.SpikeEvery = c.SpikeStepEvery
+		p.SpikePhase = int(s.draw(saltPhase, idx) % uint64(c.SpikeStepEvery))
+		p.SpikeDelay = c.SpikeDelay
+	}
+	return p
+}
+
+// ClientPlan returns the misbehavior assigned to loadgen client i.
+func (s *Schedule) ClientPlan(i int) ClientPlan {
+	c := s.cfg
+	idx := uint64(i)
+	var p ClientPlan
+	if oneIn(c.SlowClientEvery, s.draw(saltSlow, idx)) {
+		p.SlowDelay = c.SlowClientDelay
+	}
+	if oneIn(c.AbortEvery, s.draw(saltAbort, idx)) {
+		span := uint64(c.AbortStepMax - c.AbortStepMin + 1)
+		p.AbortStep = c.AbortStepMin + int(s.draw(saltAbortStep, idx)%span)
+	}
+	return p
+}
+
+// WrapGuard is the serve.Config.WrapGuard hook: it rewires the guard
+// of the idx-th created session according to the schedule. Clean
+// sessions are left untouched — their guards run the exact production
+// path with no wrapper in the call chain.
+func (s *Schedule) WrapGuard(idx uint64, g *core.Guard) {
+	plan := s.SessionPlan(idx)
+	if plan.Clean() {
+		return
+	}
+	g.Signal = WrapSignal(g.Signal, plan)
+}
+
+// FaultedSessions returns how many of the first n created sessions
+// carry a demoting fault — the exact demotion count a clean chaos run
+// must report, provided every client steps past FaultStepMax (the
+// Validate invariant guarantees aborts cannot preempt faults).
+func (s *Schedule) FaultedSessions(n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.SessionPlan(uint64(i)).Fault.Kind != None {
+			count++
+		}
+	}
+	return count
+}
+
+// ExpectedSteps returns the exact number of decisions a clean run of
+// `clients` clients with the given per-client step budget must serve:
+// each client steps to its abort point or the full budget.
+func (s *Schedule) ExpectedSteps(clients, stepsPerClient int) int64 {
+	var total int64
+	for i := 0; i < clients; i++ {
+		steps := stepsPerClient
+		if p := s.ClientPlan(i); p.AbortStep > 0 && p.AbortStep < steps {
+			steps = p.AbortStep
+		}
+		total += int64(steps)
+	}
+	return total
+}

@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// constSignal is a minimal core.Signal for wrapper tests.
+type constSignal struct{ v float64 }
+
+func (c constSignal) Observe([]float64) float64 { return c.v }
+func (c constSignal) Reset()                    {}
+func (c constSignal) Name() string              { return "const" }
+
+func testSchedule(t *testing.T, cfg Config) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := ServeScript(42, 48)
+	a := testSchedule(t, cfg)
+	b := testSchedule(t, cfg)
+	for i := 0; i < 500; i++ {
+		if a.SessionPlan(uint64(i)) != b.SessionPlan(uint64(i)) {
+			t.Fatalf("session plan %d differs between identical schedules", i)
+		}
+		if a.ClientPlan(i) != b.ClientPlan(i) {
+			t.Fatalf("client plan %d differs between identical schedules", i)
+		}
+	}
+	// A different seed must produce a different schedule.
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := testSchedule(t, cfg2)
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.SessionPlan(uint64(i)) == c.SessionPlan(uint64(i)) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("seed change did not change the schedule")
+	}
+}
+
+func TestScheduleBoundsAndCounts(t *testing.T) {
+	cfg := ServeScript(7, 48)
+	s := testSchedule(t, cfg)
+	const n = 1000
+	faulted := 0
+	for i := 0; i < n; i++ {
+		p := s.SessionPlan(uint64(i))
+		if p.Fault.Kind != None {
+			faulted++
+			if p.Fault.Step < cfg.FaultStepMin || p.Fault.Step > cfg.FaultStepMax {
+				t.Fatalf("fault step %d outside [%d, %d]", p.Fault.Step, cfg.FaultStepMin, cfg.FaultStepMax)
+			}
+		}
+		cp := s.ClientPlan(i)
+		if cp.AbortStep != 0 && (cp.AbortStep < cfg.AbortStepMin || cp.AbortStep > cfg.AbortStepMax) {
+			t.Fatalf("abort step %d outside [%d, %d]", cp.AbortStep, cfg.AbortStepMin, cfg.AbortStepMax)
+		}
+	}
+	if got := s.FaultedSessions(n); got != faulted {
+		t.Fatalf("FaultedSessions = %d, counted %d", got, faulted)
+	}
+	// ~1 in 8 sessions faulted; allow wide slack around the rate.
+	if faulted < n/16 || faulted > n/4 {
+		t.Fatalf("faulted %d of %d sessions, want roughly 1 in %d", faulted, n, cfg.FaultEvery)
+	}
+	var manual int64
+	for i := 0; i < n; i++ {
+		steps := 48
+		if p := s.ClientPlan(i); p.AbortStep > 0 && p.AbortStep < steps {
+			steps = p.AbortStep
+		}
+		manual += int64(steps)
+	}
+	if got := s.ExpectedSteps(n, 48); got != manual {
+		t.Fatalf("ExpectedSteps = %d, manual sum %d", got, manual)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{FaultEvery: 2, FaultStepMin: 5, FaultStepMax: 3},
+		{SpikeSessionEvery: 2},
+		{AbortEvery: 2, AbortStepMin: 0, AbortStepMax: 4},
+		// Faults may fire after aborts begin: the exactness invariant breaks.
+		{FaultEvery: 2, FaultStepMin: 1, FaultStepMax: 10, AbortEvery: 3, AbortStepMin: 8, AbortStepMax: 12},
+		{RejectEvery: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSchedule(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewSchedule(ServeScript(1, 48)); err != nil {
+		t.Errorf("ServeScript rejected: %v", err)
+	}
+}
+
+func TestWrapSignalInjectsNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		kind Kind
+		want func(float64) bool
+	}{
+		{NaNScore, func(v float64) bool { return math.IsNaN(v) }},
+		{InfScore, func(v float64) bool { return math.IsInf(v, 1) }},
+	} {
+		sig := WrapSignal(constSignal{0.5}, SessionPlan{Fault: SessionFault{Kind: tc.kind, Step: 2}})
+		for step := 0; step < 2; step++ {
+			if v := sig.Observe(nil); v != 0.5 {
+				t.Fatalf("%v: step %d score = %v before fault, want 0.5", tc.kind, step, v)
+			}
+		}
+		if v := sig.Observe(nil); !tc.want(v) {
+			t.Fatalf("%v: fault step score = %v", tc.kind, v)
+		}
+		// One-shot: passthrough afterwards.
+		if v := sig.Observe(nil); v != 0.5 {
+			t.Fatalf("%v: post-fault score = %v, want passthrough 0.5", tc.kind, v)
+		}
+		if sig.Name() != "const" {
+			t.Fatalf("wrapper changed signal name to %q", sig.Name())
+		}
+	}
+}
+
+func TestWrapSignalPanics(t *testing.T) {
+	sig := WrapSignal(constSignal{0}, SessionPlan{Fault: SessionFault{Kind: PanicObserve, Step: 0}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PanicObserve did not panic")
+		}
+	}()
+	sig.Observe(nil)
+}
+
+func TestWrapSignalSpikes(t *testing.T) {
+	slept := 0
+	sig := &faultSignal{
+		inner: constSignal{0},
+		plan:  SessionPlan{SpikeEvery: 4, SpikePhase: 1, SpikeDelay: time.Millisecond},
+		sleep: func(d time.Duration) {
+			if d != time.Millisecond {
+				t.Fatalf("spike delay = %v", d)
+			}
+			slept++
+		},
+	}
+	for i := 0; i < 12; i++ {
+		sig.Observe(nil)
+	}
+	if slept != 3 {
+		t.Fatalf("spiked %d of 12 steps, want 3 (every 4th, phase 1)", slept)
+	}
+}
+
+func TestMiddlewareRejectsAndForwards(t *testing.T) {
+	sched := testSchedule(t, Config{Seed: 1, RejectEvery: 3})
+	served := 0
+	h := sched.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	}))
+	rejected := 0
+	for i := 0; i < 9; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+		if rec.Code == http.StatusServiceUnavailable {
+			rejected++
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatal("injected 503 missing Retry-After")
+			}
+			body, _ := io.ReadAll(rec.Body)
+			if !bytes.Contains(body, []byte(InjectedOverloadError)) {
+				t.Fatalf("injected 503 body = %s", body)
+			}
+		}
+	}
+	if rejected != 3 || served != 6 {
+		t.Fatalf("rejected %d served %d of 9, want 3/6", rejected, served)
+	}
+	// A no-fault schedule must not interpose at all.
+	plain := testSchedule(t, Config{Seed: 1})
+	inner := http.NewServeMux()
+	if got := plain.Middleware(inner); got != http.Handler(inner) {
+		t.Fatal("no-fault middleware wrapped the handler")
+	}
+}
+
+func TestCorruptFileFlipsOneBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off, bit, err := CorruptFile(path, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range orig {
+		if orig[i] != got[i] {
+			diff++
+			if i != off || orig[i]^got[i] != 1<<bit {
+				t.Fatalf("byte %d changed %08b→%08b, reported (%d, %d)", i, orig[i], got[i], off, bit)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", diff)
+	}
+	// Same seed → same bit: a second flip restores the original.
+	if _, _, err := CorruptFile(path, 99); err != nil {
+		t.Fatal(err)
+	}
+	back, _ := os.ReadFile(path)
+	if !bytes.Equal(back, orig) {
+		t.Fatal("double flip with one seed did not restore the file")
+	}
+}
+
+func TestTruncateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateFile(path, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 50 {
+		t.Fatalf("size after truncate = %d, want 50", info.Size())
+	}
+	if err := TruncateFile(path, 1.5); err == nil {
+		t.Fatal("fraction 1.5 accepted")
+	}
+}

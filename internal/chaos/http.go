@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// InjectedOverloadError is the error string carried by middleware-
+// injected 503 bodies. It deliberately does not contain "draining":
+// loadgen clients distinguish injected overload (retry with backoff)
+// from a real drain (stop) by the body text, exactly as an operator
+// would.
+const InjectedOverloadError = "chaos: injected overload"
+
+// Middleware wraps an http.Handler with the schedule's request-level
+// faults: every RejectEvery-th arriving request is rejected with an
+// injected 503 + Retry-After before it reaches the application, and
+// every DelayEvery-th is stalled by Delay first (a slow upstream).
+// Counting is by arrival order, so the injected totals are exact for a
+// given request sequence even though the interleaving is not.
+func (s *Schedule) Middleware(next http.Handler) http.Handler {
+	var ctr atomic.Uint64
+	c := s.cfg
+	if c.RejectEvery == 0 && c.DelayEvery == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := ctr.Add(1)
+		if c.RejectEvery > 0 && n%uint64(c.RejectEvery) == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"` + InjectedOverloadError + `"}`)) //nolint:errcheck // client went away
+			return
+		}
+		if c.DelayEvery > 0 && n%uint64(c.DelayEvery) == 0 {
+			time.Sleep(c.Delay)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"osap/internal/core"
+	"osap/internal/mdp"
+)
+
+// faultSignal wraps a session's uncertainty signal with its scheduled
+// faults. The signal is the injection point because Observe runs
+// exactly once per guard decision, unconditionally — the learned
+// policy is skipped whenever the trigger has latched, so step-indexed
+// faults planted there could silently never fire.
+type faultSignal struct {
+	inner core.Signal
+	plan  SessionPlan
+	sleep func(time.Duration)
+	step  int
+	done  bool
+}
+
+// WrapSignal returns sig with plan's faults injected. The demoting
+// fault is one-shot: after it fires the wrapper is a transparent
+// passthrough (in the serve stack the session is demoted by then and
+// the guard is never consulted again).
+func WrapSignal(sig core.Signal, plan SessionPlan) core.Signal {
+	return &faultSignal{inner: sig, plan: plan, sleep: time.Sleep}
+}
+
+// Observe implements core.Signal.
+func (f *faultSignal) Observe(obs []float64) float64 {
+	step := f.step
+	f.step++
+	if f.plan.SpikeEvery > 0 && step%f.plan.SpikeEvery == f.plan.SpikePhase {
+		f.sleep(f.plan.SpikeDelay)
+	}
+	if !f.done && f.plan.Fault.Kind != None && step >= f.plan.Fault.Step {
+		f.done = true
+		switch f.plan.Fault.Kind {
+		case PanicObserve:
+			panic(fmt.Sprintf("chaos: injected inference panic at step %d", step))
+		case NaNScore:
+			return math.NaN()
+		case InfScore:
+			return math.Inf(1)
+		}
+	}
+	return f.inner.Observe(obs)
+}
+
+// Reset implements core.Signal. The step counter deliberately keeps
+// running across episodes: the fault is scheduled against the
+// session's lifetime, not any single episode.
+func (f *faultSignal) Reset() { f.inner.Reset() }
+
+// Name implements core.Signal.
+func (f *faultSignal) Name() string { return f.inner.Name() }
+
+// PoisonPolicy wraps a policy so its action distribution carries a NaN
+// from call After onward — the "NaN leaks out of nn.ForwardWS" fault
+// shape, for unit tests of non-finite-probs handling. The inner
+// policy's buffer is never mutated; the poison lives in a private
+// copy.
+type PoisonPolicy struct {
+	Inner mdp.Policy
+	After int
+
+	calls int
+	buf   []float64
+}
+
+// Probs implements mdp.Policy.
+func (p *PoisonPolicy) Probs(obs []float64) []float64 {
+	probs := p.Inner.Probs(obs)
+	call := p.calls
+	p.calls++
+	if call < p.After {
+		return probs
+	}
+	if cap(p.buf) < len(probs) {
+		p.buf = make([]float64, len(probs))
+	}
+	buf := p.buf[:len(probs)]
+	copy(buf, probs)
+	buf[0] = math.NaN()
+	return buf
+}
+
+// PanicPolicy is a policy that panics on every call — the bluntest
+// inference fault, for unit tests.
+type PanicPolicy struct{}
+
+// Probs implements mdp.Policy.
+func (PanicPolicy) Probs([]float64) []float64 { panic("chaos: injected policy panic") }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"osap/internal/mdp"
 	"osap/internal/stats"
@@ -81,6 +82,16 @@ func (g *Guard) Decide(obs []float64) Decision {
 	}
 	d := Decision{Score: score, Step: g.steps}
 	g.steps++
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		// A non-finite score is maximal uncertainty: act with the default
+		// policy, but keep it out of the trigger — one NaN fed to the
+		// variance window would poison the estimate for the next K steps.
+		g.defaulted++
+		d.UsedDefault = true
+		d.Fired = g.Trigger.Fired()
+		d.Probs = g.Default.Probs(obs)
+		return d
+	}
 	if g.Trigger.Step(score) {
 		g.defaulted++
 		d.UsedDefault = true

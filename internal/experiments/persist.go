@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,6 +24,21 @@ type artifactsJSON struct {
 	AlphaV    float64           `json:"alpha_v"`
 }
 
+// artifactsFormat names the checksummed envelope; bump on layout
+// changes.
+const artifactsFormat = "osap-artifacts/v2"
+
+// artifactsEnvelope wraps the artifact payload with an integrity
+// checksum. Artifacts is kept as raw bytes so the SHA-256 is computed
+// and verified over the exact serialized payload — a single flipped
+// bit anywhere in the weights fails the load instead of silently
+// skewing every downstream decision.
+type artifactsEnvelope struct {
+	Format    string          `json:"format"`
+	SHA256    string          `json:"sha256"`
+	Artifacts json.RawMessage `json:"artifacts"`
+}
+
 // SaveArtifacts writes trained artifacts to <dir>/<dataset>.json.
 func SaveArtifacts(dir string, a *Artifacts) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -35,7 +52,7 @@ func SaveArtifacts(dir string, a *Artifacts) (string, error) {
 		}
 		vj[i] = raw
 	}
-	data, err := json.Marshal(artifactsJSON{
+	payload, err := json.Marshal(artifactsJSON{
 		Dataset:   a.Dataset,
 		Agents:    a.Agents,
 		ValueNets: vj,
@@ -47,6 +64,15 @@ func SaveArtifacts(dir string, a *Artifacts) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("experiments: marshal artifacts: %w", err)
 	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(artifactsEnvelope{
+		Format:    artifactsFormat,
+		SHA256:    hex.EncodeToString(sum[:]),
+		Artifacts: payload,
+	})
+	if err != nil {
+		return "", fmt.Errorf("experiments: marshal artifact envelope: %w", err)
+	}
 	path := filepath.Join(dir, a.Dataset+".json")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return "", fmt.Errorf("experiments: write artifacts: %w", err)
@@ -54,14 +80,37 @@ func SaveArtifacts(dir string, a *Artifacts) (string, error) {
 	return path, nil
 }
 
-// LoadArtifacts reads artifacts saved by SaveArtifacts.
+// LoadArtifacts reads artifacts saved by SaveArtifacts, verifying the
+// envelope checksum: a corrupted or truncated file fails fast here,
+// before any bad weight can reach a serving guard. Legacy files (bare
+// payload, no envelope) load with a warning on stderr — they predate
+// checksumming, and refusing them would strand every trained model.
 func LoadArtifacts(path string) (*Artifacts, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: load artifacts: %w", err)
 	}
+	var env artifactsEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("experiments: decode artifacts %s (truncated or not JSON): %w", path, err)
+	}
+	payload := data
+	if env.Artifacts != nil {
+		if env.Format != artifactsFormat {
+			return nil, fmt.Errorf("experiments: artifacts %s: unknown format %q, want %q",
+				path, env.Format, artifactsFormat)
+		}
+		sum := sha256.Sum256(env.Artifacts)
+		if got := hex.EncodeToString(sum[:]); got != env.SHA256 {
+			return nil, fmt.Errorf("experiments: artifacts %s corrupted: payload sha256 %s does not match recorded %s",
+				path, got, env.SHA256)
+		}
+		payload = env.Artifacts
+	} else {
+		fmt.Fprintf(os.Stderr, "experiments: artifacts %s predate checksumming; integrity not verified\n", path)
+	}
 	var raw artifactsJSON
-	if err := json.Unmarshal(data, &raw); err != nil {
+	if err := json.Unmarshal(payload, &raw); err != nil {
 		return nil, fmt.Errorf("experiments: decode artifacts %s: %w", path, err)
 	}
 	if len(raw.Agents) == 0 || raw.OCSVM == nil {

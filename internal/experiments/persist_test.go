@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"osap/internal/chaos"
 )
 
 func TestSaveLoadArtifactsRoundTrip(t *testing.T) {
@@ -69,6 +74,124 @@ func TestLoadArtifactsErrors(t *testing.T) {
 	}
 	if _, err := LoadArtifacts(empty); err == nil {
 		t.Error("incomplete artifacts accepted")
+	}
+}
+
+// saveQuickArtifacts writes one quick-scale artifact file for the
+// integrity tests.
+func saveQuickArtifacts(t *testing.T) string {
+	t.Helper()
+	l := quickLab(t)
+	a, err := l.Artifacts("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := SaveArtifacts(t.TempDir(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadArtifactsDetectsBitFlip(t *testing.T) {
+	path := saveQuickArtifacts(t)
+	// A bit flip anywhere must fail the load — either as a checksum
+	// mismatch or, if it breaks JSON syntax, as a decode error. Several
+	// seeds spread the flips across the file.
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := chaos.CorruptFile(path, seed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadArtifacts(path); err == nil {
+			t.Fatalf("seed %d: corrupted artifacts loaded without error", seed)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restored file loads again.
+	if _, err := LoadArtifacts(path); err != nil {
+		t.Fatalf("restored artifacts failed to load: %v", err)
+	}
+}
+
+func TestLoadArtifactsChecksumMismatchIsDescriptive(t *testing.T) {
+	path := saveQuickArtifacts(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Format    string          `json:"format"`
+		SHA256    string          `json:"sha256"`
+		Artifacts json.RawMessage `json:"artifacts"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Format != "osap-artifacts/v2" || env.SHA256 == "" {
+		t.Fatalf("saved envelope malformed: format %q sha %q", env.Format, env.SHA256)
+	}
+	// Tamper inside the payload while keeping it valid JSON: swap one
+	// digit of a numeric weight.
+	i := bytes.IndexByte(env.Artifacts, '7')
+	if i < 0 {
+		t.Fatal("no digit to tamper with")
+	}
+	env.Artifacts[i] = '8'
+	tampered, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadArtifacts(path)
+	if err == nil {
+		t.Fatal("tampered payload loaded without error")
+	}
+	if !strings.Contains(err.Error(), "corrupted") || !strings.Contains(err.Error(), "sha256") {
+		t.Fatalf("tamper error not descriptive: %v", err)
+	}
+}
+
+func TestLoadArtifactsTruncated(t *testing.T) {
+	path := saveQuickArtifacts(t)
+	if err := chaos.TruncateFile(path, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifacts(path); err == nil {
+		t.Fatal("truncated artifacts loaded without error")
+	}
+}
+
+func TestLoadArtifactsLegacyNoChecksum(t *testing.T) {
+	path := saveQuickArtifacts(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Artifacts json.RawMessage `json:"artifacts"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	// A pre-envelope file is the bare payload: it must load (with a
+	// warning), not fail — refusing it would strand trained models.
+	if err := os.WriteFile(path, env.Artifacts, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadArtifacts(path)
+	if err != nil {
+		t.Fatalf("legacy artifacts rejected: %v", err)
+	}
+	if a.Dataset != "gamma22" || len(a.Agents) == 0 {
+		t.Fatal("legacy artifacts loaded incompletely")
 	}
 }
 

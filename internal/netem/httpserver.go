@@ -22,7 +22,17 @@ import (
 // It stands in for the DASH origin server in the live-streaming example.
 type ChunkServer struct {
 	Video *abr.Video
+	// StallTimeout bounds how long one block write may wait on a client
+	// that has stopped reading (0 → 30s). The deadline is rolling —
+	// every block that makes progress extends it — so slow-but-live
+	// throttled transfers are unaffected; only a fully stalled reader
+	// times its handler out instead of wedging the emulator.
+	StallTimeout time.Duration
 }
+
+// defaultStallTimeout protects every chunk server, including
+// zero-value ones, from stalled readers.
+const defaultStallTimeout = 30 * time.Second
 
 // ServeHTTP implements http.Handler.
 func (s *ChunkServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -47,6 +57,11 @@ func (s *ChunkServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			buf[i] = byte(i)
 		}
 		ctx := r.Context()
+		stall := s.StallTimeout
+		if stall <= 0 {
+			stall = defaultStallTimeout
+		}
+		rc := http.NewResponseController(w)
 		for size > 0 {
 			// A throttled transfer can take seconds; bail between
 			// blocks once the client (or server shutdown) cancels.
@@ -55,12 +70,16 @@ func (s *ChunkServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return
 			default:
 			}
+			// Rolling write deadline: errors are best-effort (a wrapped
+			// ResponseWriter without deadline support just loses the
+			// stall protection, not the transfer).
+			rc.SetWriteDeadline(time.Now().Add(stall)) //nolint:errcheck
 			n := size
 			if n > len(buf) {
 				n = len(buf)
 			}
 			if _, err := w.Write(buf[:n]); err != nil {
-				return // client went away
+				return // client went away or stalled past the deadline
 			}
 			size -= n
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
 	"testing"
@@ -180,5 +181,50 @@ func TestConcurrentFetchRace(t *testing.T) {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Errorf("shutdown after load: %v", err)
+	}
+}
+
+// TestStalledReaderCannotWedgeServer opens a chunk transfer, reads the
+// first bytes, then stops reading entirely. The handler's rolling
+// write deadline must error the transfer out once kernel buffers fill,
+// so graceful shutdown completes instead of hanging on the wedged
+// connection forever.
+func TestStalledReaderCannotWedgeServer(t *testing.T) {
+	video := &abr.Video{
+		Name:         "stall",
+		BitratesKbps: []float64{16000},
+		ChunkSec:     4,
+		// Far past any loopback socket buffering, so the handler is
+		// guaranteed to block on the stalled reader.
+		SizesBytes: [][]float64{{32 << 20}},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: &ChunkServer{Video: video, StallTimeout: 200 * time.Millisecond}}
+	go hs.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET /chunk?index=0&level=0 HTTP/1.1\r\nHost: stall\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Confirm the transfer started, then never read again.
+	if _, err := conn.Read(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown wedged by stalled reader: %v", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("shutdown took %v despite the write deadline", el)
 	}
 }

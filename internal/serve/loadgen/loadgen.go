@@ -16,6 +16,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,34 @@ type Config struct {
 	// Transport overrides the HTTP transport (nil → a transport sized
 	// for Clients concurrent loopback connections).
 	Transport http.RoundTripper
+	// Backoff, when non-nil, retries 429/503 responses that are not
+	// drain signals with jittered exponential backoff, honoring the
+	// server's Retry-After hint. Nil keeps the legacy fail-fast
+	// behavior.
+	Backoff *Backoff
+	// ClientDelay, when non-nil, returns an artificial pause inserted
+	// before each of client i's requests (the chaos slow-client hook).
+	ClientDelay func(i int) time.Duration
+	// AbortStep, when non-nil, returns how many steps client i takes
+	// before abandoning its session without deleting it (0 = run the
+	// full budget) — the viewer who closes the tab.
+	AbortStep func(i int) int
+}
+
+// Backoff shapes the retry schedule for rejected requests: attempt n
+// waits jitter(min(Base<<n, Max)), floored by the server's Retry-After
+// hint, for at most Retries attempts beyond the first.
+type Backoff struct {
+	Base    time.Duration // first retry delay (0 → 10ms)
+	Max     time.Duration // delay cap (0 → 1s)
+	Retries int           // retries per request (0 → 4)
+}
+
+func (b *Backoff) maxRetries() int {
+	if b.Retries > 0 {
+		return b.Retries
+	}
+	return 4
 }
 
 // Result aggregates a load run. A step is "dropped" only when a
@@ -60,8 +89,15 @@ type Result struct {
 	StepsDrained     int64 // refused by drain or shutdown (expected)
 	StepsDropped     int64 // hard failures (must be 0)
 	Fallbacks        int64 // steps served by the default policy
-	Elapsed          time.Duration
-	latencies        []time.Duration
+	Retries          int64 // requests retried after a 429/503
+	StepsDemoted     int64 // steps answered in degraded mode
+	SessionsDemoted  int64 // clients that observed their session demote
+	// DemotionViolations counts steps where a session that had reported
+	// demoted later served a learned or non-demoted decision. Demotion
+	// is permanent by contract, so this must be 0.
+	DemotionViolations int64
+	Elapsed            time.Duration
+	latencies          []time.Duration
 }
 
 // Throughput returns served steps per second over the run.
@@ -90,16 +126,21 @@ type client struct {
 	http   *http.Client
 	scheme string
 	rng    *stats.RNG
+	delay  time.Duration // pre-request pause (slow-client chaos)
 
 	sessionID string
 	env       *abr.Env
 	obs       []float64
 
-	stepsOK   int64
-	drained   int64
-	dropped   int64
-	fallbacks int64
-	latencies []time.Duration
+	stepsOK      int64
+	drained      int64
+	dropped      int64
+	fallbacks    int64
+	retries      int64
+	demotedSteps int64
+	violations   int64
+	demoted      bool
+	latencies    []time.Duration
 }
 
 type createResponse struct {
@@ -111,6 +152,7 @@ type createResponse struct {
 type stepResponse struct {
 	Action   int  `json:"action"`
 	Fallback bool `json:"fallback"`
+	Demoted  bool `json:"demoted"`
 }
 
 // isDrainSignal classifies request failures that a graceful shutdown
@@ -136,14 +178,74 @@ func isDrainSignal(status int, err error) bool {
 		strings.Contains(msg, "server closed")
 }
 
+// retryHint extracts the server's Retry-After floor and whether the
+// rejection is a drain (never retried) rather than transient overload.
+// It consumes and closes the response body.
+func retryHint(resp *http.Response) (floor time.Duration, draining bool) {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+			floor = time.Duration(sec) * time.Second
+		}
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	resp.Body.Close()
+	return floor, bytes.Contains(b, []byte("draining"))
+}
+
+// backoffDelay is the jittered exponential schedule: attempt n waits
+// uniform[0.5, 1.5) × min(Base<<n, Max), never below the server's
+// Retry-After floor.
+func (c *client) backoffDelay(attempt int, floor time.Duration) time.Duration {
+	base, max := c.cfg.Backoff.Base, c.cfg.Backoff.Max
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	d = time.Duration(float64(d) * (0.5 + c.rng.Float64()))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// do sends one POST, retrying 429/503 rejections per the backoff
+// config. Drain 503s are never retried. When retries are exhausted the
+// final rejection is returned (body already consumed) for the caller's
+// usual classification.
+func (c *client) do(ctx context.Context, url string, body []byte) (*http.Response, time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		if c.delay > 0 {
+			time.Sleep(c.delay)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		resp, err := c.http.Do(req)
+		lat := time.Since(start)
+		if c.cfg.Backoff == nil || err != nil || ctx.Err() != nil ||
+			(resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable) {
+			return resp, lat, err
+		}
+		floor, draining := retryHint(resp)
+		if draining || attempt >= c.cfg.Backoff.maxRetries() {
+			return resp, lat, err
+		}
+		c.retries++
+		time.Sleep(c.backoffDelay(attempt, floor))
+	}
+}
+
 func (c *client) create(ctx context.Context) (int, error) {
 	body, _ := json.Marshal(map[string]string{"scheme": c.scheme})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.cfg.BaseURL+"/v1/sessions", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.http.Do(req)
+	resp, _, err := c.do(ctx, c.cfg.BaseURL+"/v1/sessions", body)
 	if err != nil {
 		return 0, err
 	}
@@ -167,15 +269,7 @@ func (c *client) step(ctx context.Context) (ok bool) {
 		c.dropped++
 		return false
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.cfg.BaseURL+"/v1/sessions/"+c.sessionID+"/step", bytes.NewReader(body))
-	if err != nil {
-		c.dropped++
-		return false
-	}
-	start := time.Now()
-	resp, err := c.http.Do(req)
-	lat := time.Since(start)
+	resp, lat, err := c.do(ctx, c.cfg.BaseURL+"/v1/sessions/"+c.sessionID+"/step", body)
 	status := 0
 	if resp != nil {
 		status = resp.StatusCode
@@ -198,6 +292,16 @@ func (c *client) step(ctx context.Context) (ok bool) {
 	c.latencies = append(c.latencies, lat)
 	if sr.Fallback {
 		c.fallbacks++
+	}
+	// Demotion is permanent by contract: once the server reports this
+	// session demoted, every later decision must still be demoted and
+	// from the safe policy.
+	if c.demoted && (!sr.Demoted || !sr.Fallback) {
+		c.violations++
+	}
+	if sr.Demoted {
+		c.demoted = true
+		c.demotedSteps++
 	}
 	next, _, done := c.env.Step(sr.Action)
 	if done {
@@ -253,6 +357,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				scheme: schemes[i%len(schemes)],
 				rng:    stats.NewRNG(cfg.Seed ^ (uint64(i)*0x9E3779B97F4A7C15 + 1)),
 			}
+			if cfg.ClientDelay != nil {
+				c.delay = cfg.ClientDelay(i)
+			}
 			envCfg := abr.DefaultEnvConfig(cfg.Video, cfg.Traces)
 			env, err := abr.NewEnv(envCfg)
 			if err != nil {
@@ -276,7 +383,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				return
 			}
 			created.Add(1)
+			abort := 0
+			if cfg.AbortStep != nil {
+				abort = cfg.AbortStep(i)
+			}
 			for n := 0; cfg.StepsPerClient == 0 || n < cfg.StepsPerClient; n++ {
+				if abort > 0 && n >= abort {
+					break // abandon the session, never DELETE it
+				}
 				if ctx.Err() != nil {
 					break
 				}
@@ -289,6 +403,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			res.StepsDrained += c.drained
 			res.StepsDropped += c.dropped
 			res.Fallbacks += c.fallbacks
+			res.Retries += c.retries
+			res.StepsDemoted += c.demotedSteps
+			res.DemotionViolations += c.violations
+			if c.demoted {
+				res.SessionsDemoted++
+			}
 			res.latencies = append(res.latencies, c.latencies...)
 			mu.Unlock()
 		}(i)

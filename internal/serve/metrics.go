@@ -97,6 +97,10 @@ type Metrics struct {
 	Fallbacks        atomic.Uint64 // steps acted by the default policy
 	TriggerFirings   atomic.Uint64 // sessions whose trigger first fired
 	DrainRejected    atomic.Uint64 // requests refused while draining
+	SessionsDemoted  atomic.Uint64 // sessions demoted to degraded mode
+	PanicsRecovered  atomic.Uint64 // demotions caused by a recovered panic
+	NonFiniteScores  atomic.Uint64 // demotions caused by a NaN/Inf score
+	DegradedSteps    atomic.Uint64 // steps served by demoted sessions
 
 	mu        sync.Mutex
 	latencies map[string]*Histogram
@@ -130,13 +134,16 @@ func promFloat(v float64) string {
 }
 
 // WriteProm renders all metrics in Prometheus text exposition format.
-// liveSessions is passed in because the session table owns that gauge.
-func (m *Metrics) WriteProm(w io.Writer, liveSessions int) error {
+// liveSessions and demotedLive are passed in because the session table
+// and server own those gauges.
+func (m *Metrics) WriteProm(w io.Writer, liveSessions, demotedLive int) error {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	fmt.Fprintf(w, "# HELP osap_sessions_live Currently live guard sessions.\n")
 	fmt.Fprintf(w, "# TYPE osap_sessions_live gauge\nosap_sessions_live %d\n", liveSessions)
+	fmt.Fprintf(w, "# HELP osap_sessions_demoted_live Live sessions serving in degraded mode.\n")
+	fmt.Fprintf(w, "# TYPE osap_sessions_demoted_live gauge\nosap_sessions_demoted_live %d\n", demotedLive)
 
 	counter("osap_sessions_created_total", "Sessions admitted.", m.SessionsCreated.Load())
 	counter("osap_sessions_rejected_total", "Sessions refused by admission control.", m.SessionsRejected.Load())
@@ -147,6 +154,10 @@ func (m *Metrics) WriteProm(w io.Writer, liveSessions int) error {
 	counter("osap_decisions_fallback_total", "Decisions acted by the default policy.", m.Fallbacks.Load())
 	counter("osap_trigger_firings_total", "Sessions whose safety trigger fired.", m.TriggerFirings.Load())
 	counter("osap_drain_rejected_total", "Requests refused while draining.", m.DrainRejected.Load())
+	counter("osap_sessions_demoted_total", "Sessions demoted to the safe default policy.", m.SessionsDemoted.Load())
+	counter("osap_step_panics_recovered_total", "Inference panics recovered during steps.", m.PanicsRecovered.Load())
+	counter("osap_step_nonfinite_total", "Steps whose guard produced a non-finite result.", m.NonFiniteScores.Load())
+	counter("osap_decisions_degraded_total", "Decisions served by demoted sessions.", m.DegradedSteps.Load())
 
 	// Stable endpoint order for deterministic output.
 	m.mu.Lock()

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"osap/internal/core"
 )
 
 // Config sizes a Server.
@@ -31,6 +33,12 @@ type Config struct {
 	RetryAfter time.Duration
 	// Now injects a clock for tests (nil → time.Now).
 	Now func() time.Time
+	// WrapGuard, if set, is called with each newly built guard and the
+	// session's 0-based creation index before the session goes live.
+	// This is the fault-injection seam used by internal/chaos; in
+	// production wiring it is nil and costs one pointer check per
+	// session creation (nothing per step).
+	WrapGuard func(idx uint64, g *core.Guard)
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +87,11 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup // step/create handlers in flight
 
+	// demotedLive tracks live sessions serving in degraded mode:
+	// incremented by the step handler on first demotion, decremented by
+	// the table's close hook as demoted sessions depart.
+	demotedLive atomic.Int64
+
 	sweepOnce sync.Once
 	sweepStop chan struct{}
 	sweepDone chan struct{}
@@ -103,6 +116,11 @@ func NewServer(f *GuardFactory, cfg Config) (*Server, error) {
 		sweepDone: make(chan struct{}),
 		idSalt:    rand.Uint64() | 1,
 	}
+	s.table.SetOnClose(func(sess *Session) {
+		if sess.Demoted() {
+			s.demotedLive.Add(-1)
+		}
+	})
 	s.mux.HandleFunc("POST /v1/sessions", s.timed("create", s.handleCreate))
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.timed("info", s.handleInfo))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.timed("step", s.handleStep))
@@ -119,6 +137,16 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Sessions returns the live-session count.
 func (s *Server) Sessions() int { return s.table.Len() }
+
+// DemotedLive returns how many live sessions are serving in degraded
+// mode (clamped at 0: the gauge can transiently undershoot while a
+// demoting step and a concurrent close race).
+func (s *Server) DemotedLive() int64 {
+	if n := s.demotedLive.Load(); n > 0 {
+		return n
+	}
+	return 0
+}
 
 // StartSweeper launches the background idle-eviction loop. Safe to
 // call once; Drain stops it.
@@ -191,7 +219,7 @@ func (s *Server) Drain(ctx context.Context, w io.Writer) error {
 	s.metrics.SessionsDrained.Add(uint64(drained))
 	if w != nil {
 		fmt.Fprintf(w, "# osap-serve final metrics snapshot (drained %d sessions)\n", drained)
-		if werr := s.metrics.WriteProm(w, s.table.Len()); err == nil {
+		if werr := s.metrics.WriteProm(w, s.table.Len(), int(s.DemotedLive())); err == nil {
 			err = werr
 		}
 	}
@@ -223,6 +251,7 @@ type stepResponse struct {
 	Fired    bool    `json:"fired"`
 	Policy   string  `json:"policy"`
 	Step     int     `json:"step"`
+	Demoted  bool    `json:"demoted"`
 }
 
 type errorResponse struct {
@@ -268,7 +297,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := s.cfg.Now()
-	id := fmt.Sprintf("%x-%x", s.idSalt, s.idCtr.Add(1))
+	idx := s.idCtr.Add(1)
+	id := fmt.Sprintf("%x-%x", s.idSalt, idx)
+	if s.cfg.WrapGuard != nil {
+		s.cfg.WrapGuard(idx-1, guard)
+	}
 	sess := newSession(id, req.Scheme, guard, now)
 	if err := s.table.Put(sess); err != nil {
 		if errors.Is(err, ErrTableFull) {
@@ -323,6 +356,18 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	if res.FirstFiring {
 		s.metrics.TriggerFirings.Add(1)
 	}
+	if res.FirstDemotion {
+		s.metrics.SessionsDemoted.Add(1)
+		if res.PanicRecovered {
+			s.metrics.PanicsRecovered.Add(1)
+		} else {
+			s.metrics.NonFiniteScores.Add(1)
+		}
+		s.demotedLive.Add(1)
+	}
+	if res.Demoted {
+		s.metrics.DegradedSteps.Add(1)
+	}
 	writeJSON(w, http.StatusOK, stepResponse{
 		Action:   res.Action,
 		Score:    res.Decision.Score,
@@ -330,6 +375,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		Fired:    res.Decision.Fired,
 		Policy:   res.Decision.Policy(),
 		Step:     res.Decision.Step,
+		Demoted:  res.Demoted,
 	})
 }
 
@@ -369,20 +415,28 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	code := http.StatusOK
+	demoted := s.DemotedLive()
+	if demoted > 0 {
+		// Degraded is still HTTP 200: demoted sessions serve safe
+		// decisions, the fleet is impaired but not unavailable.
+		status = "degraded"
+	}
 	if s.draining.Load() {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
-		"status":        status,
-		"dataset":       s.factory.Dataset(),
-		"schemes":       s.factory.Schemes(),
-		"live_sessions": s.table.Len(),
-		"shards":        s.table.Shards(),
+		"status":          status,
+		"dataset":         s.factory.Dataset(),
+		"schemes":         s.factory.Schemes(),
+		"live_sessions":   s.table.Len(),
+		"shards":          s.table.Shards(),
+		"demoted_live":    demoted,
+		"demotions_total": s.metrics.SessionsDemoted.Load(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteProm(w, s.table.Len()) //nolint:errcheck // client went away
+	s.metrics.WriteProm(w, s.table.Len(), int(s.DemotedLive())) //nolint:errcheck // client went away
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,14 @@ type Session struct {
 	closed bool
 	steps  uint64
 	fired  bool
+
+	// demoted latches when a step panics or yields a non-finite score:
+	// from then on the session serves only the safe default policy (the
+	// Simplex move, applied to infrastructure faults instead of model
+	// uncertainty). Demotion is permanent for the session's lifetime —
+	// an inference stack that has panicked once is not trusted again.
+	demoted      bool
+	demoteReason string
 
 	// lastUsed is the UnixNano of the latest touch, read lock-free by
 	// the eviction sweeper.
@@ -60,9 +69,26 @@ type StepResult struct {
 	// FirstFiring is true on the step where this session's trigger
 	// first fired (for the trigger-firings counter).
 	FirstFiring bool
+	// Demoted reports that the session is serving in degraded mode:
+	// this decision came from the safe default policy because inference
+	// faulted earlier (or on this step).
+	Demoted bool
+	// FirstDemotion is true on the step that demoted the session (for
+	// the demotion counters — the handler increments exactly once).
+	FirstDemotion bool
+	// PanicRecovered distinguishes a recovered inference panic from a
+	// non-finite score on the demoting step.
+	PanicRecovered bool
 }
 
 // Step runs one guarded decision. now stamps the idle clock.
+//
+// The guard call is panic-contained: a panic anywhere in the inference
+// stack, or a non-finite uncertainty score escaping it, permanently
+// demotes the session to the safe default policy instead of killing
+// the serving goroutine or poisoning downstream JSON. The step that
+// hits the fault is still answered — from the safe policy — so no
+// client-visible decision is ever dropped.
 //
 //osap:hotpath
 func (s *Session) Step(obs []float64, now time.Time) (StepResult, error) {
@@ -71,7 +97,23 @@ func (s *Session) Step(obs []float64, now time.Time) (StepResult, error) {
 	if s.closed {
 		return StepResult{}, ErrSessionClosed
 	}
-	d := s.guard.Decide(obs)
+	if s.demoted {
+		res := s.serveSafeLocked(obs)
+		s.steps++
+		s.lastUsed.Store(now.UnixNano())
+		return res, nil
+	}
+	d, pv := s.decide(obs)
+	if pv != nil || !finiteDecision(&d) {
+		//osap:ignore hotpath-alloc demotion slow path, runs at most once per session
+		s.demoteLocked(fmt.Sprintf("step %d: panic=%v score=%g", s.steps, pv, d.Score))
+		res := s.serveSafeLocked(obs)
+		res.FirstDemotion = true
+		res.PanicRecovered = pv != nil
+		s.steps++
+		s.lastUsed.Store(now.UnixNano())
+		return res, nil
+	}
 	res := StepResult{Action: mdp.ArgmaxAction(d.Probs), Decision: d}
 	res.Decision.Probs = nil
 	if d.Fired && !s.fired {
@@ -81,6 +123,67 @@ func (s *Session) Step(obs []float64, now time.Time) (StepResult, error) {
 	s.steps++
 	s.lastUsed.Store(now.UnixNano())
 	return res, nil
+}
+
+// decide runs the guard with panic containment. It is deliberately not
+// //osap:hotpath-annotated: the deferred recover is the whole point,
+// and the clean path's zero-alloc guarantee is asserted empirically by
+// TestSessionStepZeroAlloc instead.
+func (s *Session) decide(obs []float64) (d core.Decision, panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = r
+		}
+	}()
+	d = s.guard.Decide(obs)
+	return d, nil
+}
+
+// finiteDecision reports whether the decision is safe to serve: a
+// finite score and finite probabilities. Checked before Probs is
+// cleared, since a NaN in the distribution makes the argmax arbitrary.
+func finiteDecision(d *core.Decision) bool {
+	if math.IsNaN(d.Score) || math.IsInf(d.Score, 0) {
+		return false
+	}
+	for _, p := range d.Probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// demoteLocked latches degraded mode. Setting fired suppresses any
+// later FirstFiring: the trigger-firings counter tracks genuine
+// uncertainty triggers, not infrastructure faults.
+func (s *Session) demoteLocked(reason string) {
+	s.demoted = true
+	s.demoteReason = reason
+	s.fired = true
+}
+
+// serveSafeLocked answers one step purely from the safe default
+// policy, bypassing the demoted guard entirely. Score stays 0 — never
+// the poisoned value — so the response always JSON-encodes.
+func (s *Session) serveSafeLocked(obs []float64) StepResult {
+	probs := s.guard.Default.Probs(obs)
+	return StepResult{
+		Action: mdp.ArgmaxAction(probs),
+		Decision: core.Decision{
+			UsedDefault: true,
+			Fired:       true,
+			Step:        int(s.steps),
+		},
+		Demoted: true,
+	}
+}
+
+// Demoted reports whether the session is serving in degraded mode.
+func (s *Session) Demoted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.demoted
 }
 
 // Reset starts a new episode on the session's guard (e.g. the client
@@ -112,11 +215,13 @@ func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastUsed.Load())
 
 // Info is a read-only session snapshot for the GET endpoint.
 type Info struct {
-	ID       string `json:"id"`
-	Scheme   string `json:"scheme"`
-	Steps    uint64 `json:"steps"`
-	Fired    bool   `json:"fired"`
-	IdleMsec int64  `json:"idle_ms"`
+	ID           string `json:"id"`
+	Scheme       string `json:"scheme"`
+	Steps        uint64 `json:"steps"`
+	Fired        bool   `json:"fired"`
+	IdleMsec     int64  `json:"idle_ms"`
+	Demoted      bool   `json:"demoted"`
+	DemoteReason string `json:"demote_reason,omitempty"`
 }
 
 // Snapshot captures the session's current state.
@@ -128,11 +233,13 @@ func (s *Session) Snapshot(now time.Time) Info {
 		idle = 0
 	}
 	return Info{
-		ID:       s.id,
-		Scheme:   s.scheme,
-		Steps:    s.steps,
-		Fired:    s.fired,
-		IdleMsec: idle.Milliseconds(),
+		ID:           s.id,
+		Scheme:       s.scheme,
+		Steps:        s.steps,
+		Fired:        s.fired,
+		IdleMsec:     idle.Milliseconds(),
+		Demoted:      s.demoted,
+		DemoteReason: s.demoteReason,
 	}
 }
 

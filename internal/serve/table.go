@@ -17,10 +17,11 @@ var ErrTableFull = errors.New("serve: session table full")
 // contend on a global lock. The live count is a single atomic used for
 // admission control.
 type Table struct {
-	shards []tableShard
-	mask   uint64
-	live   atomic.Int64
-	max    int64
+	shards  []tableShard
+	mask    uint64
+	live    atomic.Int64
+	max     int64
+	onClose func(*Session)
 }
 
 type tableShard struct {
@@ -57,6 +58,19 @@ func fnv1a(s string) uint64 {
 
 func (t *Table) shard(id string) *tableShard {
 	return &t.shards[fnv1a(id)&t.mask]
+}
+
+// SetOnClose registers a callback invoked (outside shard locks) each
+// time the table closes a session — delete, sweep or clear. The server
+// uses it to keep the demoted-live gauge honest as demoted sessions
+// depart. Must be set before the table is shared; the callback must
+// not call back into the table.
+func (t *Table) SetOnClose(f func(*Session)) { t.onClose = f }
+
+func (t *Table) closed(s *Session) {
+	if t.onClose != nil {
+		t.onClose(s)
+	}
 }
 
 // Len returns the number of live sessions.
@@ -106,7 +120,9 @@ func (t *Table) Delete(id string) (*Session, bool) {
 	if !ok {
 		return nil, false
 	}
-	s.close()
+	if s.close() {
+		t.closed(s)
+	}
 	t.live.Add(-1)
 	return s, true
 }
@@ -140,7 +156,9 @@ func (t *Table) Sweep(cutoff time.Time) int {
 			}
 			sh.mu.Unlock()
 			if ok {
-				s.close()
+				if s.close() {
+					t.closed(s)
+				}
 				t.live.Add(-1)
 				evicted++
 			}
@@ -170,15 +188,23 @@ func (t *Table) Range(f func(*Session)) {
 // live (used by drain).
 func (t *Table) Clear() int {
 	n := 0
+	var ss []*Session
 	for i := range t.shards {
 		sh := &t.shards[i]
+		ss = ss[:0]
 		sh.mu.Lock()
 		for id, s := range sh.m {
 			delete(sh.m, id)
-			s.close()
-			n++
+			ss = append(ss, s)
 		}
 		sh.mu.Unlock()
+		// Close outside the shard lock, matching Delete/Sweep.
+		for _, s := range ss {
+			if s.close() {
+				t.closed(s)
+			}
+			n++
+		}
 	}
 	t.live.Add(int64(-n))
 	return n
