@@ -38,7 +38,13 @@ import (
 //
 // Chaos runs always use synthetic artifacts: the harness tests the
 // serving fabric, not model quality, and must boot in milliseconds.
-func runChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, seed uint64) error {
+//
+// With transport "binary" the step traffic rides the persistent binary
+// protocol instead of HTTP: request-level faults are injected per
+// frame through the server's FrameFault seam (the binary twin of the
+// HTTP middleware), while the health/metrics scrapes — and their
+// injected faults — stay on the HTTP listener.
+func runChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, seed uint64, transport string) error {
 	script := chaos.ServeScript(seed, stepsPerClient)
 	sched, err := chaos.NewSchedule(script)
 	if err != nil {
@@ -56,6 +62,10 @@ func runChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, see
 		cfg.MaxSessions = clients
 	}
 	cfg.WrapGuard = sched.WrapGuard
+	binary := transport == loadgen.ProtocolBinary
+	if binary {
+		cfg.FrameFault = sched.FrameFaults()
+	}
 	srv, err := serve.NewServer(factory, cfg)
 	if err != nil {
 		return err
@@ -68,6 +78,13 @@ func runChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, see
 	httpSrv := &http.Server{Handler: sched.Middleware(srv)}
 	go httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
 	baseURL := "http://" + ln.Addr().String()
+	var binLn net.Listener
+	if binary {
+		if binLn, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return err
+		}
+		go srv.ServeBinary(binLn) //nolint:errcheck // returns on drain + close
+	}
 
 	gen, err := trace.GeneratorFor(dataset)
 	if err != nil {
@@ -81,11 +98,14 @@ func runChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, see
 
 	faulted := sched.FaultedSessions(clients)
 	wantSteps := sched.ExpectedSteps(clients, stepsPerClient)
+	stepTarget := baseURL
+	if binary {
+		stepTarget = "binary://" + binLn.Addr().String()
+	}
 	fmt.Fprintf(os.Stderr, "chaos: %d clients × %d steps against %s (seed %d): %d faulted sessions scheduled, %d total steps expected\n",
-		clients, stepsPerClient, baseURL, seed, faulted, wantSteps)
+		clients, stepsPerClient, stepTarget, seed, faulted, wantSteps)
 
-	start := time.Now()
-	res, err := loadgen.Run(context.Background(), loadgen.Config{
+	lgCfg := loadgen.Config{
 		BaseURL:        baseURL,
 		Clients:        clients,
 		StepsPerClient: stepsPerClient,
@@ -96,7 +116,14 @@ func runChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, see
 		Backoff:        &loadgen.Backoff{Retries: 8},
 		ClientDelay:    func(i int) time.Duration { return sched.ClientPlan(i).SlowDelay },
 		AbortStep:      func(i int) int { return sched.ClientPlan(i).AbortStep },
-	})
+	}
+	if binary {
+		lgCfg.Protocol = loadgen.ProtocolBinary
+		lgCfg.Addr = binLn.Addr().String()
+		lgCfg.SessionsPerConn = selftestSessionsPerConn
+	}
+	start := time.Now()
+	res, err := loadgen.Run(context.Background(), lgCfg)
 	if err != nil {
 		return fmt.Errorf("chaos: loadgen: %w", err)
 	}
@@ -155,6 +182,9 @@ func runChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, see
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fail("http shutdown: %v", err)
+	}
+	if binLn != nil {
+		binLn.Close() //nolint:errcheck // stops the accept loop
 	}
 	if got := srv.DemotedLive(); got != 0 {
 		fail("demoted-live gauge %d after drain, want 0", got)

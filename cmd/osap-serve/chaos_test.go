@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"osap/internal/serve"
+	"osap/internal/serve/loadgen"
 	"osap/internal/trace"
 )
 
@@ -17,7 +18,20 @@ func TestChaosSmallScale(t *testing.T) {
 		t.Skip("drives a loopback viewer fleet")
 	}
 	cfg := serve.Config{MaxSessions: 100, Shards: 16, SessionTTL: time.Minute}
-	if err := runChaos(cfg, trace.DatasetGamma22, 60, 24, 7); err != nil {
+	if err := runChaos(cfg, trace.DatasetGamma22, 60, 24, 7, loadgen.ProtocolHTTP); err != nil {
 		t.Fatalf("chaos selftest: %v", err)
+	}
+}
+
+// TestChaosSmallScaleBinary runs the same harness over the persistent
+// binary protocol: frame-level fault injection, demotion flags on the
+// wire, GoAway on drain.
+func TestChaosSmallScaleBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a loopback viewer fleet")
+	}
+	cfg := serve.Config{MaxSessions: 100, Shards: 16, SessionTTL: time.Minute}
+	if err := runChaos(cfg, trace.DatasetGamma22, 60, 24, 7, loadgen.ProtocolBinary); err != nil {
+		t.Fatalf("binary chaos selftest: %v", err)
 	}
 }

@@ -1,12 +1,14 @@
 // Command osap-serve is the multi-session online guard server: it
 // loads one training run's artifacts (agent ensemble, value ensemble,
 // OC-SVM, calibrated thresholds) and serves the paper's per-step
-// safety decision over HTTP to thousands of concurrent client
-// sessions.
+// safety decision to thousands of concurrent client sessions — over
+// HTTP/JSON and over the persistent binary step protocol
+// (internal/serve/proto), with cross-session micro-batched inference
+// on the hot path.
 //
 // Serving a pre-trained model directory (written by osap-train):
 //
-//	osap-serve -models ./models -dataset norway -addr :8080
+//	osap-serve -models ./models -dataset norway -addr :8080 -binary-addr :8081
 //
 // With no -models directory the server trains quick-scale artifacts at
 // startup (useful for demos; takes a few seconds).
@@ -14,16 +16,23 @@
 // API (JSON): POST /v1/sessions {"scheme":"ND"|"A-ensemble"|"V-ensemble"},
 // POST /v1/sessions/{id}/step {"obs":[...]}, POST /v1/sessions/{id}/reset,
 // DELETE /v1/sessions/{id}, GET /healthz, GET /metrics (Prometheus text).
+// The binary listener speaks the framed protocol documented in
+// internal/serve/proto (and DESIGN.md §10): one connection per
+// session, Hello/Welcome handshake, Step/Decision frames.
 //
-// SIGINT/SIGTERM triggers graceful drain: admissions stop (503 +
-// Retry-After), in-flight steps finish, sessions close, and a final
-// metrics snapshot is written to stderr before exit.
+// SIGINT/SIGTERM triggers graceful drain: admissions stop (503 /
+// GoAway), in-flight steps finish, binary connections are told to go
+// away, sessions close, and a final metrics snapshot is written to
+// stderr before exit.
 //
 // -selftest runs the built-in load harness instead of serving: it
-// boots the server on a loopback listener, replays throughput traces
-// as -clients concurrent synthetic viewers, drains gracefully under
-// load, verifies that no in-flight step was dropped, and writes
-// throughput/latency results to -bench-out (BENCH_serve.json).
+// sweeps the full benchmark matrix — 1 core and all cores, HTTP and
+// binary transport — each cell booting the server on a loopback
+// listener, replaying throughput traces as -clients concurrent
+// synthetic viewers, draining gracefully under load, verifying that no
+// in-flight step was dropped, and writes per-cell throughput, queue
+// vs. decision latency, batch-size and connection-setup results to
+// -bench-out (BENCH_serve.json).
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"osap/internal/abr"
 	"osap/internal/buildinfo"
 	"osap/internal/experiments"
 	"osap/internal/serve"
@@ -51,20 +61,24 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	binAddr := flag.String("binary-addr", "", "binary-protocol listen address (empty = HTTP only)")
 	models := flag.String("models", "", "directory of pre-trained artifacts (osap-train output)")
 	dataset := flag.String("dataset", trace.DatasetNorway, "training distribution to serve")
 	maxSessions := flag.Int("max-sessions", 10000, "admission-control cap on live sessions (0 = unlimited)")
 	shards := flag.Int("shards", 64, "session-table shard count (rounded up to a power of two)")
 	ttl := flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
-	selftest := flag.Bool("selftest", false, "run the load-generator self-test instead of serving")
+	selftest := flag.Bool("selftest", false, "run the load-generator matrix instead of serving")
 	chaosTest := flag.Bool("chaos", false, "run the fault-injection self-test instead of serving")
 	chaosSeed := flag.Uint64("chaos-seed", 20200713, "chaos: fault-schedule seed")
 	chaosSteps := flag.Int("chaos-steps", 48, "chaos: decisions per client")
+	transport := flag.String("transport", loadgen.ProtocolHTTP, `chaos: wire protocol ("http" or "binary")`)
 	clients := flag.Int("clients", 1000, "selftest/chaos: concurrent synthetic viewers")
-	warmup := flag.Duration("warmup", 2*time.Second, "selftest: load duration before the measured window")
-	measure := flag.Duration("measure", 3*time.Second, "selftest: steady-state measurement window")
+	warmup := flag.Duration("warmup", 2*time.Second, "selftest: load duration before the measured window (per cell)")
+	measure := flag.Duration("measure", 3*time.Second, "selftest: steady-state measurement window (per cell)")
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selftest: result file")
+	flag.IntVar(&selftestSessionsPerConn, "sessions-per-conn", 0,
+		"selftest/chaos: viewers multiplexed per binary connection (0 = loadgen default)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -80,11 +94,11 @@ func main() {
 	var err error
 	switch {
 	case *chaosTest:
-		err = runChaos(cfg, *dataset, *clients, *chaosSteps, *chaosSeed)
+		err = runChaos(cfg, *dataset, *clients, *chaosSteps, *chaosSeed, *transport)
 	case *selftest:
 		err = runSelfTest(cfg, *dataset, *models, *clients, *warmup, *measure, *benchOut)
 	default:
-		err = runServer(*addr, cfg, *dataset, *models)
+		err = runServer(*addr, *binAddr, cfg, *dataset, *models)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "osap-serve:", err)
@@ -126,7 +140,7 @@ func loadFactory(dataset, models string) (*serve.GuardFactory, error) {
 	return serve.NewGuardFactory(arts, gcfg)
 }
 
-func runServer(addr string, cfg serve.Config, dataset, models string) error {
+func runServer(addr, binAddr string, cfg serve.Config, dataset, models string) error {
 	factory, err := loadFactory(dataset, models)
 	if err != nil {
 		return err
@@ -138,12 +152,25 @@ func runServer(addr string, cfg serve.Config, dataset, models string) error {
 	srv.StartSweeper()
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
+	var binLn net.Listener
+	if binAddr != "" {
+		binLn, err = net.Listen("tcp", binAddr)
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := srv.ServeBinary(binLn); err != nil {
+				errc <- err
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "osap-serve %s: binary protocol on %s\n", buildinfo.Version, binAddr)
+	}
 	fmt.Fprintf(os.Stderr, "osap-serve %s: serving %s artifacts on %s (schemes %v)\n",
 		buildinfo.Version, factory.Dataset(), addr, factory.Schemes())
 
@@ -161,29 +188,104 @@ func runServer(addr string, cfg serve.Config, dataset, models string) error {
 	if err := srv.Drain(ctx, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "drain:", err)
 	}
+	if binLn != nil {
+		binLn.Close() //nolint:errcheck // drain already closed the conns
+	}
 	return httpSrv.Shutdown(ctx)
 }
 
-// benchResult is the BENCH_serve.json schema.
-type benchResult struct {
-	Bench             string  `json:"bench"`
-	Dataset           string  `json:"dataset"`
-	Clients           int     `json:"clients"`
-	SessionsCreated   int64   `json:"sessions_created"`
-	SessionsRejected  int64   `json:"sessions_rejected"`
-	StepsOK           int64   `json:"steps_ok"`
-	StepsDrained      int64   `json:"steps_drained"`
-	StepsDropped      int64   `json:"steps_dropped"`
-	Fallbacks         int64   `json:"fallback_steps"`
+// cellResult is one benchmark-matrix cell in BENCH_serve.json:
+// a (gomaxprocs × transport) combination measured in isolation.
+type cellResult struct {
+	Transport        string `json:"transport"`
+	GOMAXPROCS       int    `json:"gomaxprocs"`
+	Clients          int    `json:"clients"`
+	SessionsCreated  int64  `json:"sessions_created"`
+	SessionsRejected int64  `json:"sessions_rejected"`
+	StepsOK          int64  `json:"steps_ok"`
+	StepsDrained     int64  `json:"steps_drained"`
+	StepsDropped     int64  `json:"steps_dropped"`
+	Fallbacks        int64  `json:"fallback_steps"`
+
 	SteadyStateSec    float64 `json:"steady_state_window_sec"`
 	SteadyStateSteps  int64   `json:"steady_state_steps"`
 	ThroughputStepsPS float64 `json:"throughput_steps_per_sec"`
-	LatencyP50Usec    float64 `json:"latency_p50_us"`
-	LatencyP99Usec    float64 `json:"latency_p99_us"`
-	DrainedSessions   uint64  `json:"drained_sessions"`
-	GracefulShutdown  bool    `json:"graceful_shutdown_clean"`
-	GOMAXPROCS        int     `json:"gomaxprocs"`
+
+	// Client-observed round trip, then the server-side split of the
+	// batched path: time parked in the collector queue vs. time in the
+	// fused decision flush.
+	LatencyP50Usec         float64 `json:"latency_p50_us"`
+	LatencyP99Usec         float64 `json:"latency_p99_us"`
+	LatencyQueueP50Usec    float64 `json:"latency_queue_p50_us"`
+	LatencyQueueP99Usec    float64 `json:"latency_queue_p99_us"`
+	LatencyDecisionP50Usec float64 `json:"latency_decision_p50_us"`
+	LatencyDecisionP99Usec float64 `json:"latency_decision_p99_us"`
+
+	// Session-establishment cost, reported separately from step
+	// latency (for the binary protocol this is dial + handshake +
+	// open; for HTTP the create request).
+	ConnSetupP50Usec float64 `json:"conn_setup_p50_us"`
+	ConnSetupP99Usec float64 `json:"conn_setup_p99_us"`
+
+	// Batch-size distribution across collector flushes.
+	BatchesFlushed uint64  `json:"batches_flushed"`
+	BatchSizeMean  float64 `json:"batch_size_mean"`
+	BatchSizeP50   float64 `json:"batch_size_p50"`
+	BatchSizeP99   float64 `json:"batch_size_p99"`
+
+	DrainedSessions  uint64 `json:"drained_sessions"`
+	GracefulShutdown bool   `json:"graceful_shutdown_clean"`
 }
+
+// benchResult is the BENCH_serve.json schema: the full benchmark
+// matrix plus headline numbers from the all-cores binary cell.
+type benchResult struct {
+	Bench   string `json:"bench"`
+	Dataset string `json:"dataset"`
+	Clients int    `json:"clients"`
+	NumCPU  int    `json:"num_cpu"`
+
+	// Headline: the all-cores binary-transport cell.
+	ThroughputStepsPS      float64 `json:"throughput_steps_per_sec"`
+	LatencyDecisionP99Usec float64 `json:"latency_decision_p99_us"`
+
+	Cells []cellResult `json:"cells"`
+}
+
+// selftestCells is the benchmark matrix: 1 core and all cores, HTTP
+// and binary transport. The all-cores binary cell runs last and
+// provides the headline numbers.
+func selftestCells() []struct {
+	procs     int
+	transport string
+} {
+	all := runtime.NumCPU()
+	cells := []struct {
+		procs     int
+		transport string
+	}{
+		{1, loadgen.ProtocolHTTP},
+		{1, loadgen.ProtocolBinary},
+	}
+	if all > 1 {
+		cells = append(cells,
+			struct {
+				procs     int
+				transport string
+			}{all, loadgen.ProtocolHTTP},
+			struct {
+				procs     int
+				transport string
+			}{all, loadgen.ProtocolBinary},
+		)
+	}
+	return cells
+}
+
+// selftestSessionsPerConn is the -sessions-per-conn flag: how many
+// synthetic viewers share one multiplexed binary connection in the
+// selftest and chaos harnesses (0 = loadgen.DefaultSessionsPerConn).
+var selftestSessionsPerConn int
 
 func runSelfTest(cfg serve.Config, dataset, models string, clients int, warmup, measure time.Duration, benchOut string) error {
 	if cfg.MaxSessions > 0 && cfg.MaxSessions < clients {
@@ -193,18 +295,6 @@ func runSelfTest(cfg serve.Config, dataset, models string, clients int, warmup, 
 	if err != nil {
 		return err
 	}
-	srv, err := serve.NewServer(factory, cfg)
-	if err != nil {
-		return err
-	}
-	srv.StartSweeper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	httpSrv := &http.Server{Handler: srv}
-	go httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
-	baseURL := "http://" + ln.Addr().String()
 
 	// Trace pool + video for the synthetic viewers: the quick-scale
 	// evaluation video over the served dataset's generator.
@@ -219,15 +309,79 @@ func runSelfTest(cfg serve.Config, dataset, models string, clients int, warmup, 
 		traces[i] = gen.Generate(rng, 200)
 	}
 
-	fmt.Fprintf(os.Stderr, "selftest: %d clients against %s (%s)\n", clients, baseURL, dataset)
-	lgCfg := loadgen.Config{
-		BaseURL: baseURL,
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	out := benchResult{
+		Bench:   "osap-serve selftest",
+		Dataset: dataset,
 		Clients: clients,
-		Schemes: factory.Schemes(),
-		Video:   labCfg.EvalVideo,
-		Traces:  traces,
-		Seed:    1,
+		NumCPU:  runtime.NumCPU(),
 	}
+	var firstErr error
+	for _, cell := range selftestCells() {
+		cr, err := runSelfTestCell(cfg, factory, labCfg.EvalVideo, traces, clients, cell.procs, cell.transport, warmup, measure)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cell %s/%d procs: %w", cell.transport, cell.procs, err)
+		}
+		out.Cells = append(out.Cells, cr)
+		fmt.Printf("selftest [%s, %d procs]: %.0f steps/s steady state, rtt p50 %.0fµs p99 %.0fµs, decision p99 %.0fµs, queue p99 %.0fµs, batch mean %.1f, dropped %d\n",
+			cr.Transport, cr.GOMAXPROCS, cr.ThroughputStepsPS,
+			cr.LatencyP50Usec, cr.LatencyP99Usec,
+			cr.LatencyDecisionP99Usec, cr.LatencyQueueP99Usec,
+			cr.BatchSizeMean, cr.StepsDropped)
+	}
+	last := out.Cells[len(out.Cells)-1]
+	out.ThroughputStepsPS = last.ThroughputStepsPS
+	out.LatencyDecisionP99Usec = last.LatencyDecisionP99Usec
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(benchOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", benchOut)
+	return firstErr
+}
+
+func runSelfTestCell(cfg serve.Config, factory *serve.GuardFactory, video *abr.Video, traces []*trace.Trace,
+	clients, procs int, transport string, warmup, measure time.Duration) (cellResult, error) {
+	runtime.GOMAXPROCS(procs)
+	cr := cellResult{Transport: transport, GOMAXPROCS: procs, Clients: clients}
+
+	srv, err := serve.NewServer(factory, cfg)
+	if err != nil {
+		return cr, err
+	}
+	srv.StartSweeper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cr, err
+	}
+	lgCfg := loadgen.Config{
+		Clients:         clients,
+		Schemes:         factory.Schemes(),
+		Video:           video,
+		Traces:          traces,
+		Seed:            1,
+		SessionsPerConn: selftestSessionsPerConn,
+	}
+	var httpSrv *http.Server
+	if transport == loadgen.ProtocolBinary {
+		go srv.ServeBinary(ln) //nolint:errcheck // returns on drain + close
+		lgCfg.Protocol = loadgen.ProtocolBinary
+		lgCfg.Addr = ln.Addr().String()
+	} else {
+		httpSrv = &http.Server{Handler: srv}
+		go httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
+		lgCfg.BaseURL = "http://" + ln.Addr().String()
+	}
+	fmt.Fprintf(os.Stderr, "selftest: %d clients over %s on %d procs (%s)\n",
+		clients, transport, procs, ln.Addr())
+
 	resc := make(chan *loadgen.Result, 1)
 	lgErr := make(chan error, 1)
 	go func() {
@@ -255,54 +409,53 @@ func runSelfTest(cfg serve.Config, dataset, models string, clients int, warmup, 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Drain(ctx, io.Discard); err != nil {
-		return fmt.Errorf("drain under load: %w", err)
+		return cr, fmt.Errorf("drain under load: %w", err)
 	}
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		return fmt.Errorf("http shutdown: %w", err)
+	if httpSrv != nil {
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return cr, fmt.Errorf("http shutdown: %w", err)
+		}
+	} else {
+		ln.Close() //nolint:errcheck // stops the accept loop
 	}
 	if err := <-lgErr; err != nil {
-		return err
+		return cr, err
 	}
 	res := <-resc
 
-	clean := res.StepsDropped == 0 && int64(srv.Metrics().Decisions.Load()) == res.StepsOK
-	out := benchResult{
-		Bench:             "osap-serve selftest",
-		Dataset:           dataset,
-		Clients:           clients,
-		SessionsCreated:   res.SessionsCreated,
-		SessionsRejected:  res.SessionsRejected,
-		StepsOK:           res.StepsOK,
-		StepsDrained:      res.StepsDrained,
-		StepsDropped:      res.StepsDropped,
-		Fallbacks:         res.Fallbacks,
-		SteadyStateSec:    window.Seconds(),
-		SteadyStateSteps:  steadySteps,
-		ThroughputStepsPS: float64(steadySteps) / window.Seconds(),
-		LatencyP50Usec:    float64(res.LatencyQuantile(0.5).Microseconds()),
-		LatencyP99Usec:    float64(res.LatencyQuantile(0.99).Microseconds()),
-		DrainedSessions:   srv.Metrics().SessionsDrained.Load(),
-		GracefulShutdown:  clean,
-		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+	m := srv.Metrics()
+	cr.SessionsCreated = res.SessionsCreated
+	cr.SessionsRejected = res.SessionsRejected
+	cr.StepsOK = res.StepsOK
+	cr.StepsDrained = res.StepsDrained
+	cr.StepsDropped = res.StepsDropped
+	cr.Fallbacks = res.Fallbacks
+	cr.SteadyStateSec = window.Seconds()
+	cr.SteadyStateSteps = steadySteps
+	cr.ThroughputStepsPS = float64(steadySteps) / window.Seconds()
+	cr.LatencyP50Usec = float64(res.LatencyQuantile(0.5).Microseconds())
+	cr.LatencyP99Usec = float64(res.LatencyQuantile(0.99).Microseconds())
+	cr.LatencyQueueP50Usec = m.QueueLatency.Quantile(0.5) * 1e6
+	cr.LatencyQueueP99Usec = m.QueueLatency.Quantile(0.99) * 1e6
+	cr.LatencyDecisionP50Usec = m.DecisionLatency.Quantile(0.5) * 1e6
+	cr.LatencyDecisionP99Usec = m.DecisionLatency.Quantile(0.99) * 1e6
+	cr.ConnSetupP50Usec = float64(res.ConnSetupQuantile(0.5).Microseconds())
+	cr.ConnSetupP99Usec = float64(res.ConnSetupQuantile(0.99).Microseconds())
+	cr.BatchesFlushed = m.BatchSize.Count()
+	if cr.BatchesFlushed > 0 {
+		cr.BatchSizeMean = m.BatchSize.Sum() / float64(cr.BatchesFlushed)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(benchOut, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("selftest: %d concurrent sessions, %.0f steps/s steady state, p50 %v p99 %v, dropped %d\n",
-		concurrent, out.ThroughputStepsPS, res.LatencyQuantile(0.5), res.LatencyQuantile(0.99), res.StepsDropped)
-	fmt.Printf("wrote %s\n", benchOut)
+	cr.BatchSizeP50 = m.BatchSize.Quantile(0.5)
+	cr.BatchSizeP99 = m.BatchSize.Quantile(0.99)
+	cr.DrainedSessions = m.SessionsDrained.Load()
+	cr.GracefulShutdown = res.StepsDropped == 0 && int64(m.Decisions.Load()) == res.StepsOK
 
 	if concurrent < clients {
-		return fmt.Errorf("only %d of %d clients were concurrently admitted", concurrent, clients)
+		return cr, fmt.Errorf("only %d of %d clients were concurrently admitted", concurrent, clients)
 	}
-	if !clean {
-		return fmt.Errorf("selftest dropped %d steps (server served %d, clients saw %d ok)",
-			res.StepsDropped, srv.Metrics().Decisions.Load(), res.StepsOK)
+	if !cr.GracefulShutdown {
+		return cr, fmt.Errorf("cell dropped %d steps (server served %d, clients saw %d ok)",
+			res.StepsDropped, m.Decisions.Load(), res.StepsOK)
 	}
-	return nil
+	return cr, nil
 }

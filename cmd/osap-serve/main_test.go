@@ -32,20 +32,36 @@ func TestSelfTestSmallScale(t *testing.T) {
 	if err := json.Unmarshal(data, &br); err != nil {
 		t.Fatalf("bench file does not parse: %v\n%s", err, data)
 	}
-	if br.SessionsCreated != 40 {
-		t.Errorf("sessions created = %d, want 40", br.SessionsCreated)
-	}
-	if br.StepsDropped != 0 {
-		t.Errorf("steps dropped = %d, want 0", br.StepsDropped)
-	}
-	if !br.GracefulShutdown {
-		t.Error("graceful shutdown not clean")
+	if len(br.Cells) < 2 {
+		t.Fatalf("bench matrix has %d cells, want at least 1-proc http+binary", len(br.Cells))
 	}
 	if br.ThroughputStepsPS <= 0 {
-		t.Errorf("throughput = %v, want > 0", br.ThroughputStepsPS)
+		t.Errorf("headline throughput = %v, want > 0", br.ThroughputStepsPS)
 	}
-	if br.LatencyP99Usec < br.LatencyP50Usec {
-		t.Errorf("p99 %v < p50 %v", br.LatencyP99Usec, br.LatencyP50Usec)
+	seen := map[string]bool{}
+	for _, c := range br.Cells {
+		seen[c.Transport] = true
+		if c.SessionsCreated != 40 {
+			t.Errorf("[%s/%d] sessions created = %d, want 40", c.Transport, c.GOMAXPROCS, c.SessionsCreated)
+		}
+		if c.StepsDropped != 0 {
+			t.Errorf("[%s/%d] steps dropped = %d, want 0", c.Transport, c.GOMAXPROCS, c.StepsDropped)
+		}
+		if !c.GracefulShutdown {
+			t.Errorf("[%s/%d] graceful shutdown not clean", c.Transport, c.GOMAXPROCS)
+		}
+		if c.ThroughputStepsPS <= 0 {
+			t.Errorf("[%s/%d] throughput = %v, want > 0", c.Transport, c.GOMAXPROCS, c.ThroughputStepsPS)
+		}
+		if c.LatencyP99Usec < c.LatencyP50Usec {
+			t.Errorf("[%s/%d] p99 %v < p50 %v", c.Transport, c.GOMAXPROCS, c.LatencyP99Usec, c.LatencyP50Usec)
+		}
+		if c.BatchesFlushed == 0 {
+			t.Errorf("[%s/%d] no batches flushed — collector never engaged", c.Transport, c.GOMAXPROCS)
+		}
+	}
+	if !seen["http"] || !seen["binary"] {
+		t.Errorf("matrix missing a transport: %v", seen)
 	}
 }
 

@@ -19,6 +19,30 @@ const InjectedOverloadError = "chaos: injected overload"
 // every DelayEvery-th is stalled by Delay first (a slow upstream).
 // Counting is by arrival order, so the injected totals are exact for a
 // given request sequence even though the interleaving is not.
+// FrameFaults returns the binary-transport twin of Middleware, shaped
+// for serve.Config.FrameFault: the same RejectEvery/DelayEvery
+// schedule applied per arriving protocol frame. A rejection is
+// answered by the server with a retryable error frame (never a drain);
+// a delay stalls the frame before it is served. Returns nil when the
+// schedule injects no request-level faults.
+func (s *Schedule) FrameFaults() func() (reject bool, delay time.Duration) {
+	var ctr atomic.Uint64
+	c := s.cfg
+	if c.RejectEvery == 0 && c.DelayEvery == 0 {
+		return nil
+	}
+	return func() (bool, time.Duration) {
+		n := ctr.Add(1)
+		if c.RejectEvery > 0 && n%uint64(c.RejectEvery) == 0 {
+			return true, 0
+		}
+		if c.DelayEvery > 0 && n%uint64(c.DelayEvery) == 0 {
+			return false, c.Delay
+		}
+		return false, 0
+	}
+}
+
 func (s *Schedule) Middleware(next http.Handler) http.Handler {
 	var ctr atomic.Uint64
 	c := s.cfg

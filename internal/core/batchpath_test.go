@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"osap/internal/mdp"
+	"osap/internal/stats"
+)
+
+// obsPolicy derives a deterministic distribution from the observation,
+// so Observe-vs-ObserveDists comparisons exercise real variation.
+type obsPolicy struct {
+	shift float64
+	buf   []float64
+}
+
+func (p *obsPolicy) Probs(obs []float64) []float64 {
+	if p.buf == nil {
+		p.buf = make([]float64, 3)
+	}
+	var sum float64
+	for i := range p.buf {
+		p.buf[i] = math.Exp(math.Sin(obs[i%len(obs)] + p.shift + float64(i)))
+		sum += p.buf[i]
+	}
+	for i := range p.buf {
+		p.buf[i] /= sum
+	}
+	return p.buf
+}
+
+type obsValue float64
+
+func (v obsValue) Value(obs []float64) float64 {
+	return float64(v) * (1 + obs[0]*obs[0])
+}
+
+// TestObserveDistsMatchesObserve pins the batched entry point: feeding
+// ObserveDists the exact member distributions Observe would compute
+// yields a bit-identical score, on fresh and warmed-up signals alike.
+func TestObserveDistsMatchesObserve(t *testing.T) {
+	mk := func() *PolicySignal {
+		members := []mdp.Policy{
+			&obsPolicy{shift: 0}, &obsPolicy{shift: 0.3}, &obsPolicy{shift: -0.7},
+			&obsPolicy{shift: 1.9}, &obsPolicy{shift: 0.05},
+		}
+		s, err := NewPolicySignal(members, DefaultEnsembleConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	rng := stats.NewRNG(42)
+	dists := make([][]float64, len(b.Members))
+	for step := 0; step < 50; step++ {
+		obs := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		want := a.Observe(obs)
+		for i, m := range b.Members {
+			d := m.Probs(obs)
+			dists[i] = append(dists[i][:0], d...)
+		}
+		got := b.ObserveDists(dists)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("step %d: ObserveDists %g != Observe %g", step, got, want)
+		}
+	}
+}
+
+func TestObserveValuesMatchesObserve(t *testing.T) {
+	mk := func() *ValueSignal {
+		members := []mdp.ValueFn{obsValue(1), obsValue(1.4), obsValue(0.2), obsValue(-0.9), obsValue(2.2)}
+		s, err := NewValueSignal(members, DefaultEnsembleConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Normalize = true
+		return s
+	}
+	a, b := mk(), mk()
+	rng := stats.NewRNG(7)
+	vals := make([]float64, len(b.Members))
+	for step := 0; step < 50; step++ {
+		obs := []float64{rng.NormFloat64()}
+		want := a.Observe(obs)
+		for i, m := range b.Members {
+			vals[i] = m.Value(obs)
+		}
+		got := b.ObserveValues(vals)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("step %d: ObserveValues %g != Observe %g", step, got, want)
+		}
+	}
+}
+
+func TestObserveBatchedMismatchPanics(t *testing.T) {
+	ps, _ := NewPolicySignal([]mdp.Policy{&obsPolicy{}, &obsPolicy{shift: 1}}, EnsembleConfig{})
+	vs, _ := NewValueSignal([]mdp.ValueFn{obsValue(1), obsValue(2)}, EnsembleConfig{})
+	for name, f := range map[string]func(){
+		"dists": func() { ps.ObserveDists(make([][]float64, 3)) },
+		"vals":  func() { vs.ObserveValues(make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on member-count mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestDecideWithMatchesDecide runs the same score stream (including a
+// NaN step) through Decide on one guard and DecideWith on a twin, and
+// requires identical Decision metadata, bookkeeping and trigger state.
+func TestDecideWithMatchesDecide(t *testing.T) {
+	scores := []float64{0.1, 0.2, math.NaN(), 0.3, 5, 6, 7, 0.1, 0.1, 8, 9}
+	learned := fixedPolicy{1, 0}
+	def := fixedPolicy{0, 1}
+	mk := func() *Guard {
+		g, err := NewGuard(learned, def, &scriptedSignal{scores: scores}, NewTrigger(VarianceTriggerConfig(0.5, 3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.RecordScores(true)
+		return g
+	}
+	a, b := mk(), mk()
+	obs := []float64{0}
+	for i, score := range scores {
+		da := a.Decide(obs)
+		db := b.DecideWith(obs, score, learned.Probs(obs))
+		if da.Score != db.Score && !(math.IsNaN(da.Score) && math.IsNaN(db.Score)) {
+			t.Fatalf("step %d: score %g vs %g", i, da.Score, db.Score)
+		}
+		if da.UsedDefault != db.UsedDefault || da.Fired != db.Fired || da.Step != db.Step {
+			t.Fatalf("step %d: Decide %+v vs DecideWith %+v", i, da, db)
+		}
+		for j := range da.Probs {
+			if da.Probs[j] != db.Probs[j] {
+				t.Fatalf("step %d: probs %v vs %v", i, da.Probs, db.Probs)
+			}
+		}
+	}
+	if a.Steps() != b.Steps() || a.DefaultedSteps() != b.DefaultedSteps() || a.SwitchStep() != b.SwitchStep() {
+		t.Fatalf("bookkeeping diverged: %d/%d/%d vs %d/%d/%d",
+			a.Steps(), a.DefaultedSteps(), a.SwitchStep(), b.Steps(), b.DefaultedSteps(), b.SwitchStep())
+	}
+	if len(a.Scores()) != len(b.Scores()) {
+		t.Fatalf("recorded scores %d vs %d", len(a.Scores()), len(b.Scores()))
+	}
+}
+
+// TestDecideWithNonFiniteSkipsTrigger mirrors the Decide contract: a
+// non-finite score defaults immediately without stepping the trigger.
+func TestDecideWithNonFiniteSkipsTrigger(t *testing.T) {
+	tr := NewTrigger(StateTriggerConfig())
+	g, _ := NewGuard(fixedPolicy{1, 0}, fixedPolicy{0, 1}, &scriptedSignal{scores: []float64{0}}, tr)
+	d := g.DecideWith([]float64{0}, math.Inf(1), []float64{1, 0})
+	if !d.UsedDefault || d.Fired {
+		t.Fatalf("non-finite score: %+v", d)
+	}
+	if tr.Fired() {
+		t.Fatal("trigger must not step on a non-finite score")
+	}
+}
+
+func TestBatchedSignalPathZeroAlloc(t *testing.T) {
+	ps, _ := NewPolicySignal([]mdp.Policy{&obsPolicy{}, &obsPolicy{shift: 1}, &obsPolicy{shift: 2}}, DefaultEnsembleConfig())
+	vs, _ := NewValueSignal([]mdp.ValueFn{obsValue(1), obsValue(2), obsValue(3)}, DefaultEnsembleConfig())
+	g, _ := NewGuard(fixedPolicy{1, 0}, fixedPolicy{0, 1}, &scriptedSignal{scores: []float64{0.25}}, NewTrigger(VarianceTriggerConfig(0.5, 3)))
+	obs := []float64{0.1, -0.2, 0.3}
+	dists := [][]float64{{0.2, 0.8}, {0.5, 0.5}, {0.9, 0.1}}
+	vals := []float64{1, 2, 3}
+	learned := []float64{1, 0}
+	ps.ObserveDists(dists) // warm scratch
+	vs.ObserveValues(vals)
+	allocs := testing.AllocsPerRun(50, func() {
+		ps.ObserveDists(dists)
+		vs.ObserveValues(vals)
+		g.DecideWith(obs, 0.25, learned)
+	})
+	if allocs != 0 {
+		t.Fatalf("batched decision path allocates %.1f/op, want 0", allocs)
+	}
+}

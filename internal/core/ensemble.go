@@ -98,13 +98,39 @@ func (p *PolicySignal) Observe(obs []float64) float64 {
 	n := len(p.Members)
 	if cap(p.dists) < n {
 		p.dists = make([][]float64, 0, n)
-		p.kl = make([]float64, n)
-		p.idx = make([]int, 0, n)
-		p.surv = make([][]float64, 0, n)
 	}
 	dists := p.dists[:0]
 	for _, m := range p.Members {
 		dists = append(dists, m.Probs(obs))
+	}
+	return p.scoreDists(dists)
+}
+
+// ObserveDists scores externally computed member distributions — the
+// batched entry point: a cross-session engine runs every member's
+// forward pass for a whole micro-batch in one GEMM chain, then feeds
+// each session's rows here. dists[i] must be member i's distribution
+// for the observation; given rows bit-identical to Members[i].Probs,
+// the score is bit-identical to Observe (same scoring tail).
+//
+//osap:hotpath
+func (p *PolicySignal) ObserveDists(dists [][]float64) float64 {
+	if len(dists) != len(p.Members) {
+		panic("core: ObserveDists member count mismatch")
+	}
+	return p.scoreDists(dists)
+}
+
+// scoreDists is the shared scoring tail of Observe/ObserveDists:
+// trimmed-ensemble KL disagreement over member distributions.
+//
+//osap:hotpath
+func (p *PolicySignal) scoreDists(dists [][]float64) float64 {
+	n := len(dists)
+	if cap(p.kl) < n {
+		p.kl = make([]float64, n)
+		p.idx = make([]int, 0, n)
+		p.surv = make([][]float64, 0, n)
 	}
 	if len(p.mean) != len(dists[0]) {
 		p.mean = make([]float64, len(dists[0]))
@@ -177,13 +203,38 @@ func (v *ValueSignal) Observe(obs []float64) float64 {
 	n := len(v.Members)
 	if cap(v.vals) < n {
 		v.vals = make([]float64, n)
-		v.dist = make([]float64, n)
-		v.idx = make([]int, 0, n)
-		v.surv = make([]float64, 0, n)
 	}
 	vals := v.vals[:n]
 	for i, m := range v.Members {
 		vals[i] = m.Value(obs)
+	}
+	return v.scoreValues(vals)
+}
+
+// ObserveValues scores externally computed member value estimates —
+// the batched entry point, mirroring PolicySignal.ObserveDists.
+// vals[i] must be member i's value for the observation; given entries
+// bit-identical to Members[i].Value, the score is bit-identical to
+// Observe (same scoring tail).
+//
+//osap:hotpath
+func (v *ValueSignal) ObserveValues(vals []float64) float64 {
+	if len(vals) != len(v.Members) {
+		panic("core: ObserveValues member count mismatch")
+	}
+	return v.scoreValues(vals)
+}
+
+// scoreValues is the shared scoring tail of Observe/ObserveValues:
+// trimmed-ensemble absolute disagreement over member estimates.
+//
+//osap:hotpath
+func (v *ValueSignal) scoreValues(vals []float64) float64 {
+	n := len(vals)
+	if cap(v.dist) < n {
+		v.dist = make([]float64, n)
+		v.idx = make([]int, 0, n)
+		v.surv = make([]float64, 0, n)
 	}
 	mean := stats.Mean(vals)
 	dist := v.dist[:n]

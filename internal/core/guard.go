@@ -103,6 +103,44 @@ func (g *Guard) Decide(obs []float64) Decision {
 	return d
 }
 
+// DecideWith is the batched form of Decide: the uncertainty score and
+// the learned policy's distribution are supplied by the caller (a
+// cross-session batch engine that evaluated the signal's ensemble and
+// the deployed actor in fused forward passes), while the trigger
+// advance, defaulting rules and episode bookkeeping stay here. Given a
+// score bit-identical to g.Signal.Observe(obs) and learned
+// bit-identical to g.Learned.Probs(obs), the returned Decision is
+// identical to Decide's. The learned slice is passed through into
+// Decision.Probs on the learned path — callers own its lifetime.
+//
+//osap:hotpath
+func (g *Guard) DecideWith(obs []float64, score float64, learned []float64) Decision {
+	if g.record {
+		//osap:ignore hotpath-alloc diagnostics-only recording, off in serving (RecordScores)
+		g.scores = append(g.scores, score)
+	}
+	d := Decision{Score: score, Step: g.steps}
+	g.steps++
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		// Same rule as Decide: non-finite means maximal uncertainty, act
+		// with the default policy but keep the trigger unpoisoned.
+		g.defaulted++
+		d.UsedDefault = true
+		d.Fired = g.Trigger.Fired()
+		d.Probs = g.Default.Probs(obs)
+		return d
+	}
+	if g.Trigger.Step(score) {
+		g.defaulted++
+		d.UsedDefault = true
+		d.Probs = g.Default.Probs(obs)
+	} else {
+		d.Probs = learned
+	}
+	d.Fired = g.Trigger.Fired()
+	return d
+}
+
 // Probs implements mdp.Policy: evaluate the signal on the current
 // observation, advance the trigger, and delegate to the appropriate
 // policy.

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+
+	"osap/internal/linalg"
+)
+
+// Batched inference: one forward pass over a [batch, in] matrix of
+// observations instead of `batch` separate GEMVs. This is the engine
+// behind cross-session micro-batching in internal/serve — every
+// session that steps inside the same collector window shares one GEMM
+// per dense layer.
+//
+// Bit-identity contract: row r of ForwardBatchWS's output is
+// bit-identical to ForwardWS on row r alone. Dense layers go through
+// linalg.MatMulTBias (ascending-k accumulation, see its contract) and
+// conv layers through im2col into the same kernel; every other layer
+// type falls back to its per-row Forward, which is trivially
+// identical. TestForwardBatchMatchesForwardWS asserts this property
+// over random architectures and batch sizes.
+
+// batchForwarder is implemented by layers with a dedicated batched
+// kernel; all other layers are applied row by row.
+type batchForwarder interface {
+	// ForwardBatch maps in [n, InDim] to out [n, OutDim]. scratch is
+	// workspace memory of at least BatchScratch(n) float64s, owned by
+	// the call; its contents are undefined on entry and exit.
+	ForwardBatch(in, out *linalg.Matrix, scratch []float64)
+	// BatchScratch returns the scratch length ForwardBatch needs for a
+	// batch of n rows.
+	BatchScratch(n int) int
+}
+
+// ForwardBatch implements batchForwarder: one GEMM over the whole
+// batch against the layer's weight rows.
+//
+//osap:hotpath
+func (d *DenseLayer) ForwardBatch(in, out *linalg.Matrix, _ []float64) {
+	w := linalg.Matrix{Rows: d.Out, Cols: d.In, Data: d.Weight.W}
+	linalg.MatMulTBias(out, in, &w, d.Bias.W)
+}
+
+// BatchScratch implements batchForwarder: the dense GEMM works in
+// place, no scratch.
+func (d *DenseLayer) BatchScratch(int) int { return 0 }
+
+// ForwardBatch implements batchForwarder for the convolution via
+// im2col: every (row, position) patch is gathered into a contiguous
+// [n·OutLen, Channels·Kernel] matrix, multiplied against the weight
+// rows with the same fused GEMM the dense layers use, and the product
+// scattered back to the filter-major per-row layout Forward emits.
+//
+// Bit-identity: Forward computes out[f·OutLen+p] as Bias[f] plus the
+// ascending-(ch,k) dot of weight row f with the patch at p — exactly
+// the seeded ascending-k reduction MatMulTBias performs on the
+// gathered patch row. The gather and scatter are pure copies.
+//
+//osap:hotpath
+func (c *Conv1DLayer) ForwardBatch(in, out *linalg.Matrix, scratch []float64) {
+	outLen := c.OutLen()
+	patch := c.Channels * c.Kernel
+	rows := in.Rows * outLen
+	patches := linalg.Matrix{Rows: rows, Cols: patch, Data: scratch[:rows*patch]}
+	prod := linalg.Matrix{Rows: rows, Cols: c.Filters, Data: scratch[rows*patch : rows*patch+rows*c.Filters]}
+	for r := 0; r < in.Rows; r++ {
+		src := in.Data[r*in.Cols : (r+1)*in.Cols]
+		base := r * outLen * patch
+		for p := 0; p < outLen; p++ {
+			dst := patches.Data[base+p*patch : base+(p+1)*patch]
+			for ch := 0; ch < c.Channels; ch++ {
+				copy(dst[ch*c.Kernel:(ch+1)*c.Kernel], src[ch*c.Length+p:ch*c.Length+p+c.Kernel])
+			}
+		}
+	}
+	w := linalg.Matrix{Rows: c.Filters, Cols: patch, Data: c.Weight.W}
+	linalg.MatMulTBias(&prod, &patches, &w, c.Bias.W)
+	for r := 0; r < in.Rows; r++ {
+		orow := out.Data[r*out.Cols : (r+1)*out.Cols]
+		pbase := r * outLen * c.Filters
+		for p := 0; p < outLen; p++ {
+			prow := prod.Data[pbase+p*c.Filters : pbase+(p+1)*c.Filters]
+			for f, v := range prow {
+				orow[f*outLen+p] = v
+			}
+		}
+	}
+}
+
+// BatchScratch implements batchForwarder: room for the im2col patch
+// matrix plus the pre-scatter GEMM product.
+func (c *Conv1DLayer) BatchScratch(n int) int {
+	return n * c.OutLen() * (c.Channels*c.Kernel + c.Filters)
+}
+
+// ForwardBatch implements batchForwarder: one flat max(0,x) sweep over
+// the whole activation matrix instead of a per-row interface call.
+//
+//osap:hotpath
+func (r *ReLULayer) ForwardBatch(in, out *linalg.Matrix, _ []float64) {
+	dst := out.Data[:in.Rows*in.Cols]
+	for i, x := range in.Data[:in.Rows*in.Cols] {
+		if x > 0 {
+			dst[i] = x
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// BatchScratch implements batchForwarder.
+func (r *ReLULayer) BatchScratch(int) int { return 0 }
+
+// BatchWorkspace holds preallocated per-layer activation matrices for
+// batched inference on one architecture, sized for a maximum batch.
+// Like Workspace, it belongs to exactly one goroutine at a time; the
+// matrices returned by ForwardBatchWS alias workspace memory and are
+// valid only until the workspace's next use.
+type BatchWorkspace struct {
+	maxBatch int
+	inDim    int
+	acts     []linalg.Matrix // acts[i]: [maxBatch, layer i OutDim]
+	views    []linalg.Matrix // row-limited aliases handed out per call
+	scratch  [][]float64     // scratch[i]: layer i's BatchScratch(maxBatch), nil if none
+	inView   linalg.Matrix
+}
+
+// NewBatchWorkspace allocates batched activation buffers for n's
+// architecture with capacity for maxBatch rows. The workspace is
+// usable with any network whose layer dimensions match n's.
+func NewBatchWorkspace(n *Network, maxBatch int) *BatchWorkspace {
+	if maxBatch <= 0 {
+		panic(fmt.Sprintf("nn: NewBatchWorkspace maxBatch %d", maxBatch))
+	}
+	ws := &BatchWorkspace{
+		maxBatch: maxBatch,
+		inDim:    n.InDim(),
+		acts:     make([]linalg.Matrix, len(n.layers)),
+		views:    make([]linalg.Matrix, len(n.layers)),
+		scratch:  make([][]float64, len(n.layers)),
+	}
+	for i, l := range n.layers {
+		ws.acts[i] = linalg.Matrix{Rows: maxBatch, Cols: l.OutDim(), Data: make([]float64, maxBatch*l.OutDim())}
+		if bf, ok := l.(batchForwarder); ok {
+			if sz := bf.BatchScratch(maxBatch); sz > 0 {
+				ws.scratch[i] = make([]float64, sz)
+			}
+		}
+	}
+	return ws
+}
+
+// MaxBatch returns the row capacity the workspace was built with.
+func (ws *BatchWorkspace) MaxBatch() int { return ws.maxBatch }
+
+// checkBatch panics unless the workspace matches n and the batch fits.
+func (ws *BatchWorkspace) checkBatch(n *Network, batch int) {
+	if len(ws.acts) != len(n.layers) || ws.inDim != n.InDim() {
+		panic(fmt.Sprintf("nn: batch workspace shape mismatch: %d layers/in %d vs %d layers/in %d",
+			len(ws.acts), ws.inDim, len(n.layers), n.InDim()))
+	}
+	if batch <= 0 || batch > ws.maxBatch {
+		panic(fmt.Sprintf("nn: batch %d outside workspace capacity %d", batch, ws.maxBatch))
+	}
+	for i, l := range n.layers {
+		if ws.acts[i].Cols != l.OutDim() {
+			panic(fmt.Sprintf("nn: batch workspace layer %d cols %d != out dim %d",
+				i, ws.acts[i].Cols, l.OutDim()))
+		}
+	}
+}
+
+// ForwardBatchWS runs inference for in.Rows observations at once: each
+// layer maps the [batch, in] activation matrix to [batch, out], with
+// dense layers fused into a single blocked GEMM across the batch. The
+// returned matrix aliases workspace memory (valid until the next use
+// of ws) and its row r is bit-identical to ForwardWS(row r). Zero heap
+// allocation.
+//
+//osap:hotpath
+func (n *Network) ForwardBatchWS(ws *BatchWorkspace, in *linalg.Matrix) *linalg.Matrix {
+	if in.Cols != n.InDim() {
+		panic(fmt.Sprintf("nn: ForwardBatchWS input dim %d, want %d", in.Cols, n.InDim()))
+	}
+	ws.checkBatch(n, in.Rows)
+	batch := in.Rows
+	cur := in
+	for i, l := range n.layers {
+		// Row-limited view over the full-capacity buffer: same backing
+		// array, first `batch` rows.
+		out := &ws.views[i]
+		out.Rows = batch
+		out.Cols = ws.acts[i].Cols
+		out.Data = ws.acts[i].Data[:batch*ws.acts[i].Cols]
+		if bf, ok := l.(batchForwarder); ok {
+			bf.ForwardBatch(cur, out, ws.scratch[i])
+		} else {
+			for r := 0; r < batch; r++ {
+				l.Forward(cur.Row(r), out.Row(r))
+			}
+		}
+		cur = out
+	}
+	return cur
+}

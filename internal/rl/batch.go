@@ -1,0 +1,159 @@
+package rl
+
+// Cross-session batched inference. A serving process hosts thousands
+// of sessions that all share one trained artifact set, so the forward
+// passes of every session stepping inside the same micro-batch window
+// can be fused: one GEMM chain for the deployed actor, one per
+// ensemble member. BatchScorer owns the batch workspaces; like every
+// inference session it is single-goroutine — internal/serve gives each
+// collector shard its own.
+
+import (
+	"fmt"
+
+	"osap/internal/linalg"
+	"osap/internal/mdp"
+	"osap/internal/nn"
+)
+
+// BatchScorer evaluates the deployed agent, the policy ensemble and
+// the value ensemble over a [batch, obsDim] observation matrix in one
+// batched forward pass each. Row r of every result is bit-identical to
+// the corresponding single-session inference (PolicyInference /
+// ValueInference) on row r alone — the property the serve collector's
+// equivalence tests pin down.
+type BatchScorer struct {
+	deployed   *nn.Network
+	deployedWS *nn.BatchWorkspace
+
+	members  []*nn.Network // policy-ensemble actors (nil if < 2 agents)
+	memberWS []*nn.BatchWorkspace
+
+	valueNets []*nn.Network // value-ensemble critics (nil if < 2 nets)
+	valueWS   []*nn.BatchWorkspace
+
+	maxBatch int
+	dists    []*linalg.Matrix // per-member result views (PolicyDists)
+	vals     [][]float64      // per-member value columns (Values)
+}
+
+// NewBatchScorer builds a batched scorer over one artifact set: the
+// deployed agent (agents[0]), the policy ensemble (all agents, when
+// ≥ 2) and the value ensemble (valueNets, when ≥ 2). maxBatch caps the
+// rows a single call may carry.
+func NewBatchScorer(agents []*ActorCritic, valueNets []*nn.Network, maxBatch int) (*BatchScorer, error) {
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("rl: BatchScorer needs at least the deployed agent")
+	}
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("rl: BatchScorer maxBatch %d", maxBatch)
+	}
+	b := &BatchScorer{
+		deployed:   agents[0].Actor,
+		deployedWS: nn.NewBatchWorkspace(agents[0].Actor, maxBatch),
+		maxBatch:   maxBatch,
+	}
+	if len(agents) >= 2 {
+		b.members = make([]*nn.Network, len(agents))
+		b.memberWS = make([]*nn.BatchWorkspace, len(agents))
+		b.dists = make([]*linalg.Matrix, len(agents))
+		for i, a := range agents {
+			b.members[i] = a.Actor
+			b.memberWS[i] = nn.NewBatchWorkspace(a.Actor, maxBatch)
+		}
+	}
+	if len(valueNets) >= 2 {
+		b.valueNets = valueNets
+		b.valueWS = make([]*nn.BatchWorkspace, len(valueNets))
+		b.vals = make([][]float64, len(valueNets))
+		for i, n := range valueNets {
+			b.valueWS[i] = nn.NewBatchWorkspace(n, maxBatch)
+			b.vals[i] = make([]float64, maxBatch)
+		}
+	}
+	return b, nil
+}
+
+// MaxBatch returns the row capacity.
+func (b *BatchScorer) MaxBatch() int { return b.maxBatch }
+
+// NumMembers returns the policy-ensemble size (0 without an ensemble).
+func (b *BatchScorer) NumMembers() int { return len(b.members) }
+
+// NumValueNets returns the value-ensemble size (0 without an ensemble).
+func (b *BatchScorer) NumValueNets() int { return len(b.valueNets) }
+
+// ObsDim returns the observation length every row must have.
+func (b *BatchScorer) ObsDim() int { return b.deployed.InDim() }
+
+// HasPolicyEnsemble reports whether PolicyDists is available.
+func (b *BatchScorer) HasPolicyEnsemble() bool { return b.members != nil }
+
+// HasValueEnsemble reports whether Values is available.
+func (b *BatchScorer) HasValueEnsemble() bool { return b.valueNets != nil }
+
+// Deployed runs the deployed agent's actor over obs: row r of the
+// result is bit-identical to PolicyInference.Probs(obs.Row(r)). The
+// matrix aliases scorer-owned memory, valid until the next Deployed
+// call. Zero heap allocation.
+//
+//osap:hotpath
+func (b *BatchScorer) Deployed(obs *linalg.Matrix) *linalg.Matrix {
+	return b.deployed.ForwardBatchWS(b.deployedWS, obs)
+}
+
+// PolicyDists runs every policy-ensemble member over obs; element m is
+// the member's [batch, actions] distribution matrix, row-identical to
+// that member's PolicyInference. The slice and matrices alias
+// scorer-owned memory, valid until the next PolicyDists call. Zero
+// heap allocation. Panics if the scorer has no policy ensemble.
+//
+//osap:hotpath
+func (b *BatchScorer) PolicyDists(obs *linalg.Matrix) []*linalg.Matrix {
+	if b.members == nil {
+		panic("rl: BatchScorer has no policy ensemble")
+	}
+	dists := b.dists[:len(b.members)]
+	for m, net := range b.members {
+		dists[m] = net.ForwardBatchWS(b.memberWS[m], obs)
+	}
+	return dists
+}
+
+// Values runs every value-ensemble member over obs; element m is the
+// member's per-row value column, entry r bit-identical to
+// ValueInference.Value(obs.Row(r)). The slices alias scorer-owned
+// memory, valid until the next Values call. Zero heap allocation.
+// Panics if the scorer has no value ensemble.
+//
+//osap:hotpath
+func (b *BatchScorer) Values(obs *linalg.Matrix) [][]float64 {
+	if b.valueNets == nil {
+		panic("rl: BatchScorer has no value ensemble")
+	}
+	vals := b.vals[:len(b.valueNets)]
+	for m, net := range b.valueNets {
+		out := net.ForwardBatchWS(b.valueWS[m], obs)
+		col := b.vals[m][:obs.Rows]
+		for r := 0; r < obs.Rows; r++ {
+			col[r] = out.At(r, 0)
+		}
+		vals[m] = col
+	}
+	return vals
+}
+
+// OneHot writes the greedy one-hot for an externally computed action
+// distribution into the session-owned buffer — the batched counterpart
+// of Probs, bit-identical to it given an identical distribution (same
+// argmax, same buffer discipline). Valid until the next Probs/OneHot
+// call on g.
+//
+//osap:hotpath
+func (g *GreedyInference) OneHot(probs []float64) []float64 {
+	for i := range g.onehot {
+		g.onehot[i] = 0
+	}
+	g.onehot[mdp.ArgmaxAction(probs)] = 1
+	return g.onehot
+}

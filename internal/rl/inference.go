@@ -75,12 +75,7 @@ func NewGreedyInference(ac *ActorCritic) *GreedyInference {
 //
 //osap:hotpath
 func (g *GreedyInference) Probs(obs []float64) []float64 {
-	probs := g.p.Probs(obs)
-	for i := range g.onehot {
-		g.onehot[i] = 0
-	}
-	g.onehot[mdp.ArgmaxAction(probs)] = 1
-	return g.onehot
+	return g.OneHot(g.p.Probs(obs))
 }
 
 // InferencePolicyEnsemble is the workspace-backed entry point for the

@@ -1,0 +1,435 @@
+package serve
+
+// Cross-session micro-batching. Every session shares one trained
+// artifact set, so the expensive part of a step — the deployed actor's
+// forward pass and, for the ensemble schemes, the member forwards — is
+// the same GEMM chain repeated per session. The Batcher parks
+// concurrent steps for a sub-millisecond window, fuses the parked
+// sessions' observations into one matrix, runs each network once over
+// the whole batch (rl.BatchScorer), and completes every parked call
+// with inputs bit-identical to what its private guard would have
+// computed alone. Per-session state (signal scratch, trigger, episode
+// bookkeeping) is still advanced under the session's own lock, so the
+// sequential and batched paths are observably identical.
+//
+// Sharding: sessions are assigned round-robin to one of N collectors
+// at creation (N defaults to GOMAXPROCS); a session's steps always
+// flow through its own collector, each collector owns a private
+// BatchScorer, and collectors never share mutable state — the
+// single-goroutine inference contract holds per collector.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"osap/internal/core"
+	"osap/internal/linalg"
+	"osap/internal/rl"
+)
+
+// batchClass says how much of a session's step the batch engine can
+// compute. Classified once at session creation (the guard's policies
+// and signal never change afterwards).
+type batchClass uint8
+
+const (
+	// classSeq: the learned policy is not the stock greedy inference —
+	// the step runs entirely on the sequential path.
+	classSeq batchClass = iota
+	// classBatchState: deployed forward is batched; the signal (U_S, or
+	// any wrapped/custom signal) is evaluated sequentially via Observe.
+	classBatchState
+	// classBatchPolicy: deployed forward and U_π member forwards batched.
+	classBatchPolicy
+	// classBatchValue: deployed forward and U_V member forwards batched.
+	classBatchValue
+)
+
+// classifyGuard inspects a freshly built guard and picks the widest
+// batch class its concrete types support. Anything unrecognized —
+// chaos-wrapped signals, custom policies — degrades gracefully to a
+// narrower class, never to an error.
+func classifyGuard(g *core.Guard) batchClass {
+	if _, ok := g.Learned.(*rl.GreedyInference); !ok {
+		return classSeq
+	}
+	switch g.Signal.(type) {
+	case *core.PolicySignal:
+		return classBatchPolicy
+	case *core.ValueSignal:
+		return classBatchValue
+	default:
+		return classBatchState
+	}
+}
+
+// BatchConfig sizes the micro-batching engine.
+type BatchConfig struct {
+	// Disable turns cross-session batching off; every step runs on the
+	// sequential per-session path.
+	Disable bool
+	// Window is how long a collector waits after the first parked step
+	// before flushing. Zero or negative — the default — flushes as soon
+	// as the collector wakes: under light load a lone step never waits,
+	// and under heavy load the queue that accumulates while one flush
+	// computes becomes the next batch, so batch size adapts to load
+	// without an artificial delay. A positive window trades latency for
+	// fuller batches.
+	Window time.Duration
+	// MaxBatch caps sessions fused into one GEMM (0 → 32). The cap
+	// bounds per-flush decision latency — a flush costs roughly
+	// batch-size × per-row inference — and a window's overflow is
+	// flushed as successive chunks, never dropped. GEMM amortization
+	// saturates well before 32 rows, so larger caps buy little
+	// throughput and cost tail latency.
+	MaxBatch int
+	// Collectors is the shard count (0 → GOMAXPROCS).
+	Collectors int
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.Collectors <= 0 {
+		c.Collectors = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// stepCall is one parked step. done is buffered so the flusher never
+// blocks handing a result back; calls are pooled and live for exactly
+// one park→complete round trip.
+type stepCall struct {
+	sess *Session
+	obs  []float64
+	now  time.Time
+	enq  time.Time
+	res  StepResult
+	err  error
+	done chan struct{}
+}
+
+var callPool = sync.Pool{New: func() any { return &stepCall{done: make(chan struct{}, 1)} }}
+
+// Batcher owns the collector shards. Built by NewServer unless
+// BatchConfig.Disable is set.
+type Batcher struct {
+	cfg        BatchConfig
+	collectors []*collector
+	assign     atomic.Uint64
+}
+
+func newBatcher(f *GuardFactory, m *Metrics, cfg BatchConfig) (*Batcher, error) {
+	cfg = cfg.withDefaults()
+	b := &Batcher{cfg: cfg, collectors: make([]*collector, cfg.Collectors)}
+	for i := range b.collectors {
+		scorer, err := rl.NewBatchScorer(f.arts.Agents, f.arts.ValueNets, cfg.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		b.collectors[i] = newCollector(scorer, m, cfg)
+		go b.collectors[i].run()
+	}
+	return b, nil
+}
+
+// assignShard round-robins a new session onto a collector.
+func (b *Batcher) assignShard() int {
+	return int(b.assign.Add(1) % uint64(len(b.collectors)))
+}
+
+// do parks one step on the session's collector and blocks until the
+// flush completes it. Callers must have validated the observation
+// length already (the matrix copy trusts it).
+//
+//osap:hotpath
+func (b *Batcher) do(sess *Session, obs []float64, now time.Time) (StepResult, error) {
+	call := callPool.Get().(*stepCall)
+	call.sess, call.obs, call.now = sess, obs, now
+	call.enq = time.Now()
+	b.collectors[sess.shard].park(call)
+	<-call.done
+	res, err := call.res, call.err
+	call.sess, call.obs, call.err = nil, nil, nil
+	call.res = StepResult{}
+	callPool.Put(call)
+	return res, err
+}
+
+// Stop terminates every collector, flushing any parked calls first.
+// Call only after all steppers have finished (Drain waits for its
+// in-flight handlers before stopping the batcher).
+func (b *Batcher) Stop() {
+	for _, c := range b.collectors {
+		close(c.stop)
+	}
+	for _, c := range b.collectors {
+		<-c.done
+	}
+}
+
+// collector is one batching shard: a parked-call queue, a goroutine
+// that flushes it on a window/size trigger, and private scoring
+// scratch. All scratch below the mutex section is touched only by the
+// collector goroutine.
+type collector struct {
+	cfg     BatchConfig
+	scorer  *rl.BatchScorer
+	metrics *Metrics
+
+	mu     sync.Mutex
+	parked []*stepCall
+	spare  []*stepCall // flushed-side buffer; ping-pongs with parked
+
+	wake chan struct{} // buffered 1: batch went non-empty
+	full chan struct{} // buffered 1: batch reached MaxBatch
+	stop chan struct{}
+	done chan struct{}
+
+	// Flush scratch (collector goroutine only).
+	order       []*stepCall   // calls reordered [policy | value | state | seq]
+	obs         linalg.Matrix // fused observations, MaxBatch×obsDim capacity
+	deplView    linalg.Matrix // row-limited views into obs for the scorer
+	polObsView  linalg.Matrix
+	valObsView  linalg.Matrix
+	deployedOut *linalg.Matrix
+	polDists    []*linalg.Matrix
+	valCols     [][]float64
+	ev          batchEval
+	evDists     [][]float64
+	evVals      []float64
+}
+
+func newCollector(scorer *rl.BatchScorer, m *Metrics, cfg BatchConfig) *collector {
+	dim := scorer.ObsDim()
+	c := &collector{
+		cfg:     cfg,
+		scorer:  scorer,
+		metrics: m,
+		parked:  make([]*stepCall, 0, cfg.MaxBatch),
+		spare:   make([]*stepCall, 0, cfg.MaxBatch),
+		wake:    make(chan struct{}, 1),
+		full:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		order:   make([]*stepCall, 0, cfg.MaxBatch),
+		evDists: make([][]float64, scorer.NumMembers()),
+		evVals:  make([]float64, scorer.NumValueNets()),
+	}
+	c.obs = *linalg.NewMatrix(cfg.MaxBatch, dim)
+	c.deplView = linalg.Matrix{Rows: 0, Cols: dim}
+	c.polObsView = linalg.Matrix{Rows: 0, Cols: dim}
+	c.valObsView = linalg.Matrix{Rows: 0, Cols: dim}
+	return c
+}
+
+// park enqueues a call and signals the collector. The first call of a
+// batch wakes the run loop; hitting MaxBatch cuts the window short.
+func (c *collector) park(call *stepCall) {
+	c.mu.Lock()
+	c.parked = append(c.parked, call)
+	n := len(c.parked)
+	c.mu.Unlock()
+	if n == 1 {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+	if n >= c.cfg.MaxBatch {
+		select {
+		case c.full <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the collector loop: sleep until a batch opens, give it the
+// micro-batch window (or until it fills), flush, repeat.
+func (c *collector) run() {
+	defer close(c.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-c.stop:
+			c.flushAll()
+			return
+		case <-c.wake:
+		}
+		if c.cfg.Window > 0 {
+			timer.Reset(c.cfg.Window)
+			select {
+			case <-c.stop:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				c.flushAll()
+				return
+			case <-c.full:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+			}
+		}
+		c.flushAll()
+		// A full signal raised by calls that landed mid-flush is stale
+		// now; the wake channel re-arms the next round.
+		select {
+		case <-c.full:
+		default:
+		}
+	}
+}
+
+// flushAll swaps out the parked queue and flushes it in MaxBatch
+// chunks.
+func (c *collector) flushAll() {
+	c.mu.Lock()
+	batch := c.parked
+	c.parked = c.spare[:0]
+	c.spare = batch
+	c.mu.Unlock()
+	for rest := batch; len(rest) > 0; {
+		n := len(rest)
+		if n > c.cfg.MaxBatch {
+			n = c.cfg.MaxBatch
+		}
+		c.flush(rest[:n])
+		rest = rest[n:]
+	}
+	for i := range batch {
+		batch[i] = nil // drop session/obs refs until the next swap
+	}
+}
+
+// flush serves one micro-batch: fused forward passes, then per-call
+// completion under each session's own lock. Queue latency is
+// enqueue→flush-start; decision latency is flush-start→completion, so
+// the two histograms split waiting-to-batch from deciding.
+//
+//osap:hotpath
+func (c *collector) flush(calls []*stepCall) {
+	start := time.Now()
+	c.metrics.BatchSize.Observe(float64(len(calls)))
+	qh := c.metrics.QueueLatency
+	for _, call := range calls {
+		qh.Observe(start.Sub(call.enq).Seconds())
+	}
+	dh := c.metrics.DecisionLatency
+	nPol, nVal, nSt, ok := c.prepare(calls)
+	if !ok {
+		// The fused scoring faulted. Serve every call sequentially so
+		// the fault surfaces on (and demotes) the session that owns it,
+		// not the whole batch.
+		for _, call := range calls {
+			call.res, call.err = call.sess.Step(call.obs, call.now)
+			dh.Observe(time.Since(start).Seconds())
+			call.done <- struct{}{}
+		}
+		return
+	}
+	nb := nPol + nVal + nSt
+	for idx, call := range c.order {
+		if idx < nb {
+			ev := &c.ev
+			ev.deployed = c.deployedOut.Row(idx)
+			ev.dists = nil
+			ev.vals = nil
+			switch {
+			case idx < nPol:
+				ev.class = classBatchPolicy
+				dists := c.evDists[:len(c.polDists)]
+				for m := range c.polDists {
+					dists[m] = c.polDists[m].Row(idx)
+				}
+				ev.dists = dists
+			case idx < nPol+nVal:
+				ev.class = classBatchValue
+				vals := c.evVals[:len(c.valCols)]
+				for m := range c.valCols {
+					vals[m] = c.valCols[m][idx-nPol]
+				}
+				ev.vals = vals
+			default:
+				ev.class = classBatchState
+			}
+			call.res, call.err = call.sess.stepBatched(call.obs, ev, call.now)
+		} else {
+			call.res, call.err = call.sess.Step(call.obs, call.now)
+		}
+		dh.Observe(time.Since(start).Seconds())
+		call.done <- struct{}{}
+	}
+}
+
+// prepare partitions the batch as [policy | value | state | seq],
+// copies the batchable observations into the fused matrix and runs the
+// shared forward passes. Panic-contained: a fault anywhere in the
+// fused scoring reports ok=false and the caller falls back to
+// sequential serving. Like Session.decide, it is deliberately not
+// //osap:hotpath-annotated — the deferred recover is the point, and
+// the clean path's zero-alloc guarantee is asserted empirically by
+// TestBatchedStepZeroAlloc.
+func (c *collector) prepare(calls []*stepCall) (nPol, nVal, nSt int, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	order := c.order[:0]
+	for _, call := range calls {
+		if call.sess.class == classBatchPolicy {
+			order = append(order, call)
+		}
+	}
+	nPol = len(order)
+	for _, call := range calls {
+		if call.sess.class == classBatchValue {
+			order = append(order, call)
+		}
+	}
+	nVal = len(order) - nPol
+	for _, call := range calls {
+		if call.sess.class == classBatchState {
+			order = append(order, call)
+		}
+	}
+	nSt = len(order) - nPol - nVal
+	for _, call := range calls {
+		if call.sess.class == classSeq {
+			order = append(order, call)
+		}
+	}
+	c.order = order
+	nb := nPol + nVal + nSt
+	if nb == 0 {
+		return nPol, nVal, nSt, true
+	}
+	dim := c.scorer.ObsDim()
+	for r := 0; r < nb; r++ {
+		copy(c.obs.Data[r*dim:(r+1)*dim], order[r].obs)
+	}
+	c.deplView.Rows = nb
+	c.deplView.Data = c.obs.Data[:nb*dim]
+	c.deployedOut = c.scorer.Deployed(&c.deplView)
+	c.polDists = nil
+	if nPol > 0 {
+		c.polObsView.Rows = nPol
+		c.polObsView.Data = c.obs.Data[:nPol*dim]
+		c.polDists = c.scorer.PolicyDists(&c.polObsView)
+	}
+	c.valCols = nil
+	if nVal > 0 {
+		c.valObsView.Rows = nVal
+		c.valObsView.Data = c.obs.Data[nPol*dim : (nPol+nVal)*dim]
+		c.valCols = c.scorer.Values(&c.valObsView)
+	}
+	return nPol, nVal, nSt, true
+}

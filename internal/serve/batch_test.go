@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"osap/internal/stats"
+)
+
+// batchTestServer builds a server with batching tuned for tests: a
+// real window so concurrent steps genuinely fuse, one collector so
+// batch composition is deterministic under load.
+func batchTestServer(t *testing.T, batch BatchConfig) *Server {
+	t.Helper()
+	f, err := NewGuardFactory(sharedArtifacts(t), GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(f, Config{Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// obsStream generates a deterministic per-session observation
+// sequence: a throughput-like positive random walk.
+func obsStream(seed uint64, dim, steps int) [][]float64 {
+	rng := stats.NewRNG(seed)
+	out := make([][]float64, steps)
+	level := 1.0
+	for i := range out {
+		obs := make([]float64, dim)
+		for j := range obs {
+			level += 0.1 * rng.NormFloat64()
+			if level < 0.05 {
+				level = 0.05
+			}
+			obs[j] = level
+		}
+		out[i] = obs
+	}
+	return out
+}
+
+// TestBatchedMatchesSequential is the end-to-end equivalence property:
+// sessions stepped concurrently through the micro-batching collector
+// produce, step for step, bit-identical results to a reference session
+// built from the same factory and stepped alone — for every scheme.
+func TestBatchedMatchesSequential(t *testing.T) {
+	s := batchTestServer(t, BatchConfig{Window: 2 * time.Millisecond, MaxBatch: 64, Collectors: 1})
+	defer s.Drain(context.Background(), io.Discard) //nolint:errcheck
+
+	schemes := s.factory.Schemes()
+	if len(schemes) != 3 {
+		t.Fatalf("want all 3 schemes from synthetic artifacts, got %v", schemes)
+	}
+	const perScheme, steps = 4, 60
+	dim := s.factory.ObsDim()
+
+	type lane struct {
+		scheme string
+		seed   uint64
+		stream [][]float64
+		got    []StepResult
+	}
+	var lanes []*lane
+	for si, scheme := range schemes {
+		for k := 0; k < perScheme; k++ {
+			lanes = append(lanes, &lane{
+				scheme: scheme,
+				seed:   uint64(1000 + si*100 + k),
+				stream: obsStream(uint64(1000+si*100+k), dim, steps),
+			})
+		}
+	}
+
+	// Drive every lane concurrently through the batched server.
+	var wg sync.WaitGroup
+	for _, ln := range lanes {
+		sess, err := s.createSession(ln.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.class == classSeq {
+			t.Fatalf("scheme %s classified classSeq — batching never engages", ln.scheme)
+		}
+		wg.Add(1)
+		go func(ln *lane, sess *Session) {
+			defer wg.Done()
+			for _, obs := range ln.stream {
+				res, err := s.stepSession(sess, obs)
+				if err != nil {
+					t.Errorf("%s: step: %v", ln.scheme, err)
+					return
+				}
+				ln.got = append(ln.got, res)
+			}
+		}(ln, sess)
+	}
+	wg.Wait()
+	if s.metrics.BatchSize.Count() == 0 {
+		t.Fatal("no batches flushed — collector never engaged")
+	}
+
+	// Replay each lane on a private sequential guard and compare.
+	for _, ln := range lanes {
+		g, err := s.factory.NewGuard(ln.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newSession("ref", ln.scheme, g, time.Now())
+		if len(ln.got) != steps {
+			t.Fatalf("%s: lane finished %d/%d steps", ln.scheme, len(ln.got), steps)
+		}
+		for i, obs := range ln.stream {
+			want, err := ref.Step(obs, time.Now())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := ln.got[i]
+			if got.Action != want.Action {
+				t.Fatalf("%s step %d: action %d != %d", ln.scheme, i, got.Action, want.Action)
+			}
+			if math.Float64bits(got.Decision.Score) != math.Float64bits(want.Decision.Score) {
+				t.Fatalf("%s step %d: score %g != %g (not bit-identical)",
+					ln.scheme, i, got.Decision.Score, want.Decision.Score)
+			}
+			if got.Decision.UsedDefault != want.Decision.UsedDefault ||
+				got.Decision.Fired != want.Decision.Fired ||
+				got.Decision.Step != want.Decision.Step ||
+				got.Demoted != want.Demoted {
+				t.Fatalf("%s step %d: metadata %+v != %+v", ln.scheme, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchedStepZeroAlloc is the CI allocation gate for the batched
+// decision path: a steady-state step through collector parking, fused
+// scoring and completion must not allocate — on the caller's
+// goroutine or the collector's.
+func TestBatchedStepZeroAlloc(t *testing.T) {
+	s := batchTestServer(t, BatchConfig{Window: -1, MaxBatch: 16, Collectors: 1})
+	defer s.Drain(context.Background(), io.Discard) //nolint:errcheck
+	for _, scheme := range s.factory.Schemes() {
+		sess, err := s.createSession(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := obsStream(9, s.factory.ObsDim(), 1)[0]
+		for i := 0; i < 50; i++ { // warm scratch, pool and histograms
+			if _, err := s.stepSession(sess, obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := s.stepSession(sess, obs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: batched step allocates %.2f/op, want 0", scheme, allocs)
+		}
+	}
+}
+
+// TestBatcherRaceHammer runs under -race in `make race`: concurrent
+// steps across schemes, session deletion mid-flight, and a drain that
+// lands mid-flush. Steppers follow the handler discipline (inflight +
+// draining check) exactly like the HTTP/binary front ends.
+func TestBatcherRaceHammer(t *testing.T) {
+	s := batchTestServer(t, BatchConfig{Window: 200 * time.Microsecond, MaxBatch: 8, Collectors: 2})
+	schemes := s.factory.Schemes()
+	dim := s.factory.ObsDim()
+
+	const nSess = 24
+	sessions := make([]*Session, nSess)
+	for i := range sessions {
+		sess, err := s.createSession(schemes[i%len(schemes)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = sess
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(i int, sess *Session) {
+			defer wg.Done()
+			stream := obsStream(uint64(i), dim, 16)
+			for !stop.Load() {
+				for _, obs := range stream {
+					s.opGate.RLock()
+					if s.draining.Load() {
+						s.opGate.RUnlock()
+						return
+					}
+					_, err := s.stepSession(sess, obs)
+					s.opGate.RUnlock()
+					if err != nil {
+						if errors.Is(err, ErrSessionClosed) {
+							return // deleted or drained under us
+						}
+						t.Errorf("step: %v", err)
+						return
+					}
+				}
+			}
+		}(i, sess)
+	}
+	// Delete a third of the fleet while their steppers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nSess; i += 3 {
+			time.Sleep(300 * time.Microsecond)
+			s.table.Delete(sessions[i].ID())
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx, io.Discard); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if got := s.Sessions(); got != 0 {
+		t.Fatalf("%d sessions survived drain", got)
+	}
+}
+
+// BenchmarkBatchedStep measures steady-state decision throughput
+// through the micro-batching collector with a fleet of concurrent
+// sessions — the server-side cost floor of the batched serving path,
+// without transport. b.N counts individual session steps.
+func BenchmarkBatchedStep(b *testing.B) {
+	f, err := NewGuardFactory(sharedArtifacts(b), GuardConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewServer(f, Config{Batch: BatchConfig{Window: time.Millisecond, MaxBatch: 256}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Drain(context.Background(), io.Discard) //nolint:errcheck
+	schemes := f.Schemes()
+	const fleet = 256
+	sessions := make([]*Session, fleet)
+	for i := range sessions {
+		if sessions[i], err = s.createSession(schemes[i%len(schemes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Uint64
+	obs := obsStream(7, f.ObsDim(), 64)
+	b.SetParallelism(fleet / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sess := sessions[next.Add(1)%fleet]
+		i := 0
+		for pb.Next() {
+			if _, err := s.stepSession(sess, obs[i&63]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func TestClassifyGuard(t *testing.T) {
+	f, err := NewGuardFactory(sharedArtifacts(t), GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]batchClass{
+		SchemeND:   classBatchState,
+		SchemeAEns: classBatchPolicy,
+		SchemeVEns: classBatchValue,
+	}
+	for scheme, cls := range want {
+		g, err := f.NewGuard(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := classifyGuard(g); got != cls {
+			t.Errorf("%s: class %d, want %d", scheme, got, cls)
+		}
+	}
+}

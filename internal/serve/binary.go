@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"osap/internal/serve/proto"
+)
+
+// Binary front end: persistent multiplexed connections speaking
+// internal/serve/proto. Each connection is split into three kinds of
+// goroutines so that many sessions share each syscall:
+//
+//   - a reader (serveConn) that decodes frames and routes them to
+//     per-session workers;
+//   - one worker per open session, which runs the step through the
+//     shared opGate/batcher discipline exactly like an HTTP handler
+//     goroutine would;
+//   - a writer that encodes queued replies and flushes only when its
+//     queue goes momentarily idle, coalescing the decisions of every
+//     session that stepped in the same window into one write.
+//
+// The reader hands a worker at most one command at a time (a per
+// session busy flag), so a session's observation decode buffer is
+// never written while its worker reads it; a client that pipelines two
+// steps on one cid gets a BadRequest error for the second.
+
+// ServeBinary accepts persistent binary-protocol connections (see
+// internal/serve/proto) on ln and serves them until the listener
+// closes. It is the hot-path alternative to the HTTP front door: many
+// sessions multiplexed per connection, length-prefixed binary frames,
+// zero steady-state allocation per step. Both front ends share the
+// same session table, batcher, metrics, and drain discipline, so they
+// can run side by side in one process.
+//
+// Accept errors after drain has begun are a normal shutdown and return
+// nil; the caller closes ln (typically right after Drain).
+func (s *Server) ServeBinary(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(nc)
+	}
+}
+
+// trackConn registers a live binary connection for drain shutdown. It
+// refuses (returns false) once drain has begun, which closes the
+// window where a connection could be accepted after Drain's sweep and
+// then block forever in a frame read.
+func (s *Server) trackConn(nc net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.conns[nc] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(nc net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, nc)
+	s.connMu.Unlock()
+}
+
+// closeConns shuts down every tracked binary connection's read side.
+// Called by Drain after the in-flight barrier: readers blocked in a
+// frame read would otherwise wait forever for clients that have
+// nothing more to say. Closing only the read half lets each
+// connection's writer flush decisions that were completed by the final
+// batch flush before the connection tears down; the teardown path then
+// closes the socket fully.
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	for nc := range s.conns {
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.CloseRead() //nolint:errcheck // unblocking reads; peer may be gone
+		} else {
+			nc.Close() //nolint:errcheck
+		}
+	}
+	s.connMu.Unlock()
+}
+
+// binCmd is one routed command for a session worker.
+type binCmd struct {
+	typ proto.Type // TypeStep or TypeReset
+	seq uint32
+}
+
+// binMsg is one queued reply for the connection writer.
+type binMsg struct {
+	typ  proto.Type // Decision, Opened, Error, OK, Pong, GoAway
+	dec  proto.Decision
+	cid  uint32
+	code uint16
+	str  string
+}
+
+// binSession is one multiplexed session's server-side channel state.
+// The reader owns the map entry and the decode buffer hand-off; the
+// worker owns the step itself.
+type binSession struct {
+	cid  uint32
+	sess *Session
+	obs  []float64 // decode buffer; reader writes only while busy is clear
+	in   chan binCmd
+	// busy is set by the reader before it decodes into obs and cleared
+	// by the worker once the command is fully served — the
+	// one-outstanding-step-per-channel discipline, as a single atomic
+	// instead of a token channel round trip per step.
+	busy atomic.Bool
+}
+
+// serveConn is the per-connection reader: Hello/Welcome handshake,
+// then a frame-routing loop. Sessions outlive a disconnect (TTL
+// eviction collects them later, mirroring an abandoned HTTP session)
+// unless the client closes them explicitly.
+func (s *Server) serveConn(nc net.Conn) {
+	pc := proto.NewConn(nc)
+	if !s.trackConn(nc) {
+		pc.WriteGoAway("draining") //nolint:errcheck // best-effort farewell
+		nc.Close()                 //nolint:errcheck
+		return
+	}
+	defer s.untrackConn(nc)
+
+	t, payload, err := pc.ReadFrame()
+	if err != nil || t != proto.TypeHello {
+		nc.Close() //nolint:errcheck
+		return
+	}
+	if err := proto.DecodeHello(payload); err != nil {
+		pc.WriteError(proto.CidConn, proto.CodeBadRequest, err.Error()) //nolint:errcheck
+		nc.Close()                                                      //nolint:errcheck
+		return
+	}
+	if pc.WriteWelcome(proto.Welcome{
+		Version:    proto.Version,
+		ObsDim:     s.factory.ObsDim(),
+		NumActions: s.factory.NumActions(),
+		Dataset:    s.factory.Dataset(),
+		Schemes:    s.factory.Schemes(),
+	}) != nil {
+		nc.Close() //nolint:errcheck
+		return
+	}
+
+	// Post-handshake the write side belongs to the writer goroutine;
+	// the reader communicates only through out.
+	pc.ManualFlush()
+	out := make(chan binMsg, 256)
+	writerDone := make(chan struct{})
+	go binWriter(nc, pc, out, writerDone)
+
+	sessions := make(map[uint32]*binSession)
+	workers := 0
+	workerDone := make(chan struct{}, 16)
+	defer func() {
+		for _, bs := range sessions {
+			close(bs.in)
+		}
+		for ; workers > 0; workers-- {
+			<-workerDone
+		}
+		close(out)
+		<-writerDone
+		nc.Close() //nolint:errcheck
+	}()
+
+	for {
+		t, payload, err := pc.ReadFrame()
+		if err != nil {
+			return
+		}
+		if s.cfg.FrameFault != nil {
+			if reject, delay := s.cfg.FrameFault(); reject {
+				// Injected overload: a retryable 503, deliberately without
+				// "draining" in the message (see chaos), addressed to the
+				// frame's session so only that step retries.
+				cid, ok := proto.StepCid(payload)
+				if !ok {
+					cid = proto.CidConn
+				}
+				out <- binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeDraining, str: "injected overload"}
+				continue
+			} else if delay > 0 {
+				time.Sleep(delay)
+			}
+		}
+		switch t {
+		case proto.TypeStep:
+			s.routeStep(sessions, out, payload)
+		case proto.TypePing:
+			out <- binMsg{typ: proto.TypePong}
+		case proto.TypeOpen:
+			if bs, reply, keep := s.binaryOpen(sessions, payload); keep {
+				if bs != nil {
+					sessions[bs.cid] = bs
+					workers++
+					go s.binWorker(bs, out, workerDone)
+				}
+				out <- reply
+			} else {
+				out <- reply
+				return
+			}
+		case proto.TypeReset:
+			s.routeReset(sessions, out, payload)
+		case proto.TypeClose:
+			cid, err := proto.DecodeCid(payload)
+			if err != nil {
+				out <- binMsg{typ: proto.TypeError, cid: proto.CidConn, code: proto.CodeBadRequest, str: "bad close frame"}
+				continue
+			}
+			bs := sessions[cid]
+			if bs == nil {
+				out <- binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: "no session on this channel"}
+				continue
+			}
+			if _, ok := s.table.Delete(bs.sess.ID()); ok {
+				s.metrics.SessionsDeleted.Add(1)
+			}
+			close(bs.in)
+			delete(sessions, cid)
+			workers--
+			<-workerDone
+			out <- binMsg{typ: proto.TypeOK, cid: cid}
+		default:
+			out <- binMsg{typ: proto.TypeError, cid: proto.CidConn, code: proto.CodeBadRequest, str: "unexpected frame type"}
+			return
+		}
+	}
+}
+
+// routeStep decodes a step frame into the session's buffer and hands
+// it to the worker. The busy flag guarantees the worker is not still
+// reading the buffer from the previous step.
+//
+//osap:hotpath
+func (s *Server) routeStep(sessions map[uint32]*binSession, out chan binMsg, payload []byte) {
+	cid, ok := proto.StepCid(payload)
+	if !ok {
+		out <- binMsg{typ: proto.TypeError, cid: proto.CidConn, code: proto.CodeBadRequest, str: "bad step frame"}
+		return
+	}
+	bs := sessions[cid]
+	if bs == nil {
+		out <- binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: "no session on this channel"}
+		return
+	}
+	if !bs.busy.CompareAndSwap(false, true) {
+		out <- binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: "step already in flight"}
+		return
+	}
+	_, seq, err := proto.DecodeStep(payload, bs.obs)
+	if err != nil {
+		bs.busy.Store(false)
+		out <- binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: "bad step frame"}
+		return
+	}
+	bs.in <- binCmd{typ: proto.TypeStep, seq: seq}
+}
+
+// routeReset hands a reset to the session's worker under the same busy
+// discipline as a step.
+func (s *Server) routeReset(sessions map[uint32]*binSession, out chan binMsg, payload []byte) {
+	cid, err := proto.DecodeCid(payload)
+	if err != nil {
+		out <- binMsg{typ: proto.TypeError, cid: proto.CidConn, code: proto.CodeBadRequest, str: "bad reset frame"}
+		return
+	}
+	bs := sessions[cid]
+	if bs == nil {
+		out <- binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: "no session on this channel"}
+		return
+	}
+	if !bs.busy.CompareAndSwap(false, true) {
+		out <- binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: "step already in flight"}
+		return
+	}
+	bs.in <- binCmd{typ: proto.TypeReset}
+}
+
+// binaryOpen serves one TypeOpen frame: the binary analogue of
+// handleCreate. keep=false ends the connection (drain).
+func (s *Server) binaryOpen(sessions map[uint32]*binSession, payload []byte) (*binSession, binMsg, bool) {
+	s.opGate.RLock()
+	if s.draining.Load() {
+		s.opGate.RUnlock()
+		s.metrics.DrainRejected.Add(1)
+		return nil, binMsg{typ: proto.TypeGoAway, str: "draining"}, false
+	}
+	cid, scheme, err := proto.DecodeOpen(payload)
+	if err != nil {
+		s.opGate.RUnlock()
+		return nil, binMsg{typ: proto.TypeError, cid: proto.CidConn, code: proto.CodeBadRequest, str: "bad open frame"}, true
+	}
+	if cid == proto.CidConn {
+		s.opGate.RUnlock()
+		return nil, binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: "reserved channel id"}, true
+	}
+	if sessions[cid] != nil {
+		s.opGate.RUnlock()
+		return nil, binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: "channel id already open"}, true
+	}
+	if scheme == "" {
+		scheme = SchemeND
+	}
+	ns, err := s.createSession(scheme)
+	s.opGate.RUnlock()
+	if err != nil {
+		if errors.Is(err, ErrTableFull) {
+			s.metrics.SessionsRejected.Add(1)
+			return nil, binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeTooMany, str: "session table full"}, true
+		}
+		return nil, binMsg{typ: proto.TypeError, cid: cid, code: proto.CodeBadRequest, str: err.Error()}, true
+	}
+	bs := &binSession{
+		cid:  cid,
+		sess: ns,
+		obs:  make([]float64, s.factory.ObsDim()),
+		in:   make(chan binCmd, 1),
+	}
+	return bs, binMsg{typ: proto.TypeOpened, cid: cid, str: ns.ID()}, true
+}
+
+// binWorker serves one multiplexed session's commands: the binary
+// analogue of an HTTP handler goroutine, under the same
+// opGate/draining discipline. It exits when the reader closes its
+// command channel (session closed or connection gone).
+//
+//osap:hotpath
+func (s *Server) binWorker(bs *binSession, out chan binMsg, done chan struct{}) {
+	hist := s.metrics.Latency("step")
+	for cmd := range bs.in {
+		// In every arm below, busy is cleared BEFORE the reply is
+		// queued: the client only learns the step finished through the
+		// reply, so the store→send→flush chain guarantees the flag is
+		// clear by the time its next step frame can reach the reader. A
+		// clear after the send would race a fast client into a spurious
+		// "step already in flight" rejection.
+		if cmd.typ == proto.TypeReset {
+			s.opGate.RLock()
+			err := bs.sess.Reset(s.cfg.Now())
+			s.opGate.RUnlock()
+			bs.busy.Store(false)
+			if err != nil {
+				out <- binMsg{typ: proto.TypeError, cid: bs.cid, code: proto.CodeGone, str: "session closed"}
+			} else {
+				out <- binMsg{typ: proto.TypeOK, cid: bs.cid}
+			}
+			continue
+		}
+		start := time.Now()
+		s.opGate.RLock()
+		if s.draining.Load() {
+			s.opGate.RUnlock()
+			s.metrics.DrainRejected.Add(1)
+			bs.busy.Store(false)
+			out <- binMsg{typ: proto.TypeGoAway, str: "draining"}
+			continue
+		}
+		res, err := s.stepSession(bs.sess, bs.obs)
+		if err != nil {
+			s.opGate.RUnlock()
+			bs.busy.Store(false)
+			out <- binMsg{typ: proto.TypeError, cid: bs.cid, code: proto.CodeGone, str: "session closed"}
+			continue
+		}
+		s.recordStep(res)
+		s.opGate.RUnlock()
+
+		var m binMsg
+		m.typ = proto.TypeDecision
+		m.dec.Cid = bs.cid
+		m.dec.Seq = cmd.seq
+		m.dec.Action = uint16(res.Action)
+		if res.Decision.UsedDefault {
+			m.dec.Flags |= proto.FlagFallback
+		}
+		if res.Decision.Fired {
+			m.dec.Flags |= proto.FlagFired
+		}
+		if res.Demoted {
+			m.dec.Flags |= proto.FlagDemoted
+		}
+		m.dec.Step = uint32(res.Decision.Step)
+		m.dec.Score = res.Decision.Score
+		hist.Observe(time.Since(start).Seconds())
+		bs.busy.Store(false)
+		out <- m
+	}
+	done <- struct{}{}
+}
+
+// binWriter encodes queued replies and flushes whenever the queue goes
+// momentarily idle: decisions completed by one batch flush (or several)
+// leave in a single write syscall. On a write error it closes the
+// socket — which unblocks the reader — and keeps draining the queue so
+// workers never block on a dead connection.
+//
+//osap:hotpath
+func binWriter(nc net.Conn, pc *proto.Conn, out chan binMsg, done chan struct{}) {
+	failed := false
+	open := true
+	for open {
+		m, ok := <-out
+		if !ok {
+			break
+		}
+		failed = writeBinMsg(nc, pc, m, failed)
+		for more := true; more; {
+			select {
+			case m, ok := <-out:
+				if !ok {
+					open = false
+					more = false
+					break
+				}
+				failed = writeBinMsg(nc, pc, m, failed)
+			default:
+				more = false
+			}
+		}
+		if !failed && pc.Flush() != nil {
+			failed = true
+			nc.Close() //nolint:errcheck
+		}
+	}
+	if !failed {
+		pc.Flush() //nolint:errcheck // final frames; socket may be gone
+	}
+	close(done)
+}
+
+// writeBinMsg encodes one queued reply; once a write fails the
+// connection is closed and the rest of the queue is discarded.
+//
+//osap:hotpath
+func writeBinMsg(nc net.Conn, pc *proto.Conn, m binMsg, failed bool) bool {
+	if failed {
+		return true
+	}
+	var err error
+	switch m.typ {
+	case proto.TypeDecision:
+		err = pc.WriteDecision(m.dec)
+	case proto.TypeOpened:
+		err = pc.WriteOpened(m.cid, m.str)
+	case proto.TypeError:
+		err = pc.WriteError(m.cid, m.code, m.str)
+	case proto.TypeOK:
+		err = pc.WriteSessionControl(proto.TypeOK, m.cid)
+	case proto.TypePong:
+		err = pc.WriteControl(proto.TypePong, nil)
+	case proto.TypeGoAway:
+		err = pc.WriteGoAway(m.str)
+	}
+	if err != nil {
+		nc.Close() //nolint:errcheck
+		return true
+	}
+	return false
+}

@@ -1,0 +1,432 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"osap/internal/serve/proto"
+)
+
+// binClient is a minimal binary-protocol client for tests: dial,
+// handshake, then typed frame exchanges on explicit channel ids.
+type binClient struct {
+	t  *testing.T
+	nc net.Conn
+	pc *proto.Conn
+	w  proto.Welcome
+}
+
+func dialBinary(t *testing.T, addr string) *binClient {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &binClient{t: t, nc: nc, pc: proto.NewConn(nc)}
+	if err := c.pc.WriteHello(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.pc.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ == proto.TypeGoAway {
+		t.Fatalf("handshake refused: %s", payload)
+	}
+	if typ != proto.TypeWelcome {
+		t.Fatalf("handshake: frame type %d, want Welcome", typ)
+	}
+	if c.w, err = proto.DecodeWelcome(payload); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func (c *binClient) open(cid uint32, scheme string) string {
+	c.t.Helper()
+	if err := c.pc.WriteOpen(cid, scheme); err != nil {
+		c.t.Fatal(err)
+	}
+	typ, payload, err := c.pc.ReadFrame()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if typ != proto.TypeOpened {
+		_, code, msg, _ := proto.DecodeError(payload)
+		c.t.Fatalf("open %s: frame type %d (%s)", scheme, typ, proto.ErrorString(code, msg))
+	}
+	got, id, err := proto.DecodeOpened(payload)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if got != cid {
+		c.t.Fatalf("open %s: reply addressed to cid %d, want %d", scheme, got, cid)
+	}
+	return id
+}
+
+// openErr sends an Open expected to fail and returns the error frame.
+func (c *binClient) openErr(cid uint32, scheme string) (uint16, string) {
+	c.t.Helper()
+	if err := c.pc.WriteOpen(cid, scheme); err != nil {
+		c.t.Fatal(err)
+	}
+	typ, payload, err := c.pc.ReadFrame()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if typ != proto.TypeError {
+		c.t.Fatalf("open: frame type %d, want Error", typ)
+	}
+	_, code, msg, err := proto.DecodeError(payload)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return code, msg
+}
+
+func (c *binClient) step(cid, seq uint32, obs []float64) (proto.Decision, error) {
+	if err := c.pc.WriteStep(cid, seq, obs); err != nil {
+		return proto.Decision{}, err
+	}
+	typ, payload, err := c.pc.ReadFrame()
+	if err != nil {
+		return proto.Decision{}, err
+	}
+	if typ != proto.TypeDecision {
+		_, code, msg, _ := proto.DecodeError(payload)
+		return proto.Decision{}, &binError{typ: typ, code: code, msg: msg}
+	}
+	d, err := proto.DecodeDecision(payload)
+	if err == nil && d.Cid != cid {
+		c.t.Fatalf("decision addressed to cid %d, want %d", d.Cid, cid)
+	}
+	return d, err
+}
+
+type binError struct {
+	typ  proto.Type
+	code uint16
+	msg  string
+}
+
+func (e *binError) Error() string { return proto.ErrorString(e.code, e.msg) }
+
+// sessionControl sends a cid-scoped Reset/Close and expects an OK
+// addressed to the same channel.
+func (c *binClient) sessionControl(t proto.Type, cid uint32) {
+	c.t.Helper()
+	if err := c.pc.WriteSessionControl(t, cid); err != nil {
+		c.t.Fatal(err)
+	}
+	typ, payload, err := c.pc.ReadFrame()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if typ != proto.TypeOK {
+		_, code, msg, _ := proto.DecodeError(payload)
+		c.t.Fatalf("control %d: response type %d (%s), want OK", t, typ, proto.ErrorString(code, msg))
+	}
+	if got, err := proto.DecodeCid(payload); err != nil || got != cid {
+		c.t.Fatalf("control %d: OK addressed to cid %d (%v), want %d", t, got, err, cid)
+	}
+}
+
+func (c *binClient) ping() {
+	c.t.Helper()
+	if err := c.pc.WriteControl(proto.TypePing, nil); err != nil {
+		c.t.Fatal(err)
+	}
+	typ, _, err := c.pc.ReadFrame()
+	if err != nil || typ != proto.TypePong {
+		c.t.Fatalf("ping: response type %d err %v, want Pong", typ, err)
+	}
+}
+
+func binaryTestServer(t *testing.T, batch BatchConfig) (*Server, string) {
+	t.Helper()
+	s := batchTestServer(t, batch)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go s.ServeBinary(ln) //nolint:errcheck // returns on listener close
+	return s, ln.Addr().String()
+}
+
+// TestBinaryEndToEnd multiplexes sessions across all three schemes on
+// ONE connection, pipelines every lane's step per round so the batching
+// collector sees them together, and checks every decision is
+// bit-identical to a sequential reference replay — the same equivalence
+// property as the HTTP path, over the multiplexed wire format.
+func TestBinaryEndToEnd(t *testing.T) {
+	s, addr := binaryTestServer(t, BatchConfig{Window: time.Millisecond, MaxBatch: 64, Collectors: 1})
+	defer s.Drain(context.Background(), io.Discard) //nolint:errcheck
+
+	schemes := s.factory.Schemes()
+	const perScheme, steps = 2, 40
+	dim := s.factory.ObsDim()
+
+	type lane struct {
+		scheme string
+		stream [][]float64
+		got    []proto.Decision
+	}
+	var lanes []*lane
+	for si, scheme := range schemes {
+		for k := 0; k < perScheme; k++ {
+			lanes = append(lanes, &lane{
+				scheme: scheme,
+				stream: obsStream(uint64(40+si*10+k), dim, steps),
+			})
+		}
+	}
+
+	c := dialBinary(t, addr)
+	defer c.nc.Close()
+	if c.w.ObsDim != dim || c.w.NumActions != s.factory.NumActions() {
+		t.Fatalf("welcome dims %d/%d, want %d/%d", c.w.ObsDim, c.w.NumActions, dim, s.factory.NumActions())
+	}
+	for ci, ln := range lanes {
+		c.open(uint32(ci), ln.scheme)
+	}
+	if got := s.Sessions(); got != len(lanes) {
+		t.Fatalf("%d sessions open, want %d", got, len(lanes))
+	}
+
+	// Pipeline one step per lane, then collect the round's decisions in
+	// whatever order the coalescing writer emits them.
+	for i := 0; i < steps; i++ {
+		for ci, ln := range lanes {
+			if err := c.pc.WriteStep(uint32(ci), uint32(i), ln.stream[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for range lanes {
+			typ, payload, err := c.pc.ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if typ != proto.TypeDecision {
+				_, code, msg, _ := proto.DecodeError(payload)
+				t.Fatalf("round %d: frame type %d (%s)", i, typ, proto.ErrorString(code, msg))
+			}
+			d, err := proto.DecodeDecision(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(d.Cid) >= len(lanes) || d.Seq != uint32(i) {
+				t.Fatalf("round %d: decision cid %d seq %d", i, d.Cid, d.Seq)
+			}
+			lanes[d.Cid].got = append(lanes[d.Cid].got, d)
+		}
+	}
+	if s.metrics.BatchSize.Count() == 0 {
+		t.Fatal("no batches flushed over the binary transport")
+	}
+
+	for _, ln := range lanes {
+		if len(ln.got) != steps {
+			t.Fatalf("%s: lane finished %d/%d steps", ln.scheme, len(ln.got), steps)
+		}
+		g, err := s.factory.NewGuard(ln.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newSession("ref", ln.scheme, g, time.Now())
+		for i, obs := range ln.stream {
+			want, err := ref.Step(obs, time.Now())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := ln.got[i]
+			if int(got.Action) != want.Action {
+				t.Fatalf("%s step %d: action %d != %d", ln.scheme, i, got.Action, want.Action)
+			}
+			if math.Float64bits(got.Score) != math.Float64bits(want.Decision.Score) {
+				t.Fatalf("%s step %d: score %g != %g (not bit-identical)", ln.scheme, i, got.Score, want.Decision.Score)
+			}
+			if got.Flags&proto.FlagFallback != 0 != want.Decision.UsedDefault ||
+				got.Flags&proto.FlagFired != 0 != want.Decision.Fired ||
+				got.Flags&proto.FlagDemoted != 0 != want.Demoted ||
+				int(got.Step) != want.Decision.Step {
+				t.Fatalf("%s step %d: flags/step %+v != %+v", ln.scheme, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBinarySessionLifecycle exercises the control frames on one
+// multiplexed connection: ping, reset, explicit close (which deletes
+// the session server-side but keeps the connection usable), channel
+// reuse, and the cid-scoped error cases.
+func TestBinarySessionLifecycle(t *testing.T) {
+	s, addr := binaryTestServer(t, BatchConfig{})
+	defer s.Drain(context.Background(), io.Discard) //nolint:errcheck
+
+	c := dialBinary(t, addr)
+	defer c.nc.Close()
+	c.ping()
+
+	// Step before open is a recoverable error, not a dead connection.
+	obs := obsStream(3, s.factory.ObsDim(), 1)[0]
+	if _, err := c.step(0, 0, obs); err == nil {
+		t.Fatal("step before open succeeded")
+	}
+
+	// The reserved connection-scoped cid cannot carry a session.
+	if code, _ := c.openErr(proto.CidConn, SchemeND); code != proto.CodeBadRequest {
+		t.Fatalf("reserved cid open: code %d, want 400", code)
+	}
+
+	c.open(0, SchemeND)
+	if s.Sessions() != 1 {
+		t.Fatalf("%d sessions after open, want 1", s.Sessions())
+	}
+
+	// A second Open on a live channel is rejected without killing it.
+	if code, msg := c.openErr(0, SchemeND); code != proto.CodeBadRequest || !strings.Contains(msg, "already open") {
+		t.Fatalf("duplicate cid open: code %d %q", code, msg)
+	}
+
+	for i := uint32(1); i <= 2; i++ {
+		d, err := c.step(0, i, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Step != i-1 {
+			t.Fatalf("step counter = %d, want %d", d.Step, i-1)
+		}
+	}
+	c.sessionControl(proto.TypeReset, 0)
+	d, err := c.step(0, 3, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != 0 {
+		t.Fatalf("step counter after reset = %d, want 0", d.Step)
+	}
+	c.sessionControl(proto.TypeClose, 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Sessions() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Sessions() != 0 {
+		t.Fatalf("%d sessions after close, want 0", s.Sessions())
+	}
+	if s.metrics.SessionsDeleted.Load() != 1 {
+		t.Fatalf("deleted counter %d, want 1", s.metrics.SessionsDeleted.Load())
+	}
+
+	// Close freed the channel id and kept the connection: reuse both.
+	c.open(0, SchemeAEns)
+	if d, err := c.step(0, 1, obs); err != nil || d.Step != 0 {
+		t.Fatalf("step on reused channel: %+v %v", d, err)
+	}
+	if s.Sessions() != 1 {
+		t.Fatalf("%d sessions after channel reuse, want 1", s.Sessions())
+	}
+}
+
+// TestBinaryPipelineRejected pins the one-outstanding-step-per-channel
+// rule: a second step pipelined on the same cid while the first is
+// still in the (deliberately slow) batch window gets a BadRequest, the
+// first still completes, and the channel remains usable.
+func TestBinaryPipelineRejected(t *testing.T) {
+	s, addr := binaryTestServer(t, BatchConfig{Window: 50 * time.Millisecond, MaxBatch: 64, Collectors: 1})
+	defer s.Drain(context.Background(), io.Discard) //nolint:errcheck
+
+	c := dialBinary(t, addr)
+	defer c.nc.Close()
+	c.open(0, SchemeND)
+	obs := obsStream(9, s.factory.ObsDim(), 1)[0]
+
+	if err := c.pc.WriteStep(0, 1, obs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.pc.WriteStep(0, 2, obs); err != nil {
+		t.Fatal(err)
+	}
+	var decisions, rejections int
+	for i := 0; i < 2; i++ {
+		typ, payload, err := c.pc.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch typ {
+		case proto.TypeDecision:
+			d, err := proto.DecodeDecision(payload)
+			if err != nil || d.Seq != 1 {
+				t.Fatalf("decision %+v err %v, want seq 1", d, err)
+			}
+			decisions++
+		case proto.TypeError:
+			cid, code, msg, err := proto.DecodeError(payload)
+			if err != nil || cid != 0 || code != proto.CodeBadRequest || !strings.Contains(msg, "in flight") {
+				t.Fatalf("error cid %d code %d %q %v", cid, code, msg, err)
+			}
+			rejections++
+		default:
+			t.Fatalf("unexpected frame type %d", typ)
+		}
+	}
+	if decisions != 1 || rejections != 1 {
+		t.Fatalf("%d decisions, %d rejections; want 1 and 1", decisions, rejections)
+	}
+	// The channel survived the rejection.
+	if d, err := c.step(0, 2, obs); err != nil || d.Seq != 2 {
+		t.Fatalf("step after rejection: %+v %v", d, err)
+	}
+}
+
+// TestBinaryDrainGoAway checks graceful shutdown over the binary
+// transport: an in-flight connection is told to go away (or closed)
+// rather than left hanging, and new connections are refused.
+func TestBinaryDrainGoAway(t *testing.T) {
+	s, addr := binaryTestServer(t, BatchConfig{})
+	c := dialBinary(t, addr)
+	defer c.nc.Close()
+	c.open(0, SchemeAEns)
+	obs := obsStream(5, s.factory.ObsDim(), 1)[0]
+	if _, err := c.step(0, 0, obs); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx, io.Discard); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The existing connection: a post-drain step gets GoAway or, if the
+	// force-close won the race, a transport error. Never a decision.
+	if err := c.pc.WriteStep(0, 1, obs); err == nil {
+		typ, _, err := c.pc.ReadFrame()
+		if err == nil && typ != proto.TypeGoAway {
+			t.Fatalf("post-drain step answered with frame type %d", typ)
+		}
+	}
+
+	// A new connection is refused at the handshake.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return // listener may already reject; also a valid drain outcome
+	}
+	defer nc.Close()
+	pc := proto.NewConn(nc)
+	if err := pc.WriteHello(); err != nil {
+		return
+	}
+	if typ, _, err := pc.ReadFrame(); err == nil && typ != proto.TypeGoAway {
+		t.Fatalf("post-drain handshake answered with frame type %d, want GoAway", typ)
+	}
+	if s.Sessions() != 0 {
+		t.Fatalf("%d sessions survived drain", s.Sessions())
+	}
+}

@@ -32,6 +32,17 @@ import (
 type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Protocol selects the wire protocol: ProtocolHTTP (default, also
+	// "") or ProtocolBinary — the persistent length-prefixed protocol
+	// in internal/serve/proto, many sessions multiplexed per
+	// connection.
+	Protocol string
+	// Addr is the host:port of the server's binary listener; required
+	// when Protocol is ProtocolBinary (BaseURL is then unused).
+	Addr string
+	// SessionsPerConn is how many sessions share one multiplexed
+	// binary connection (0 → DefaultSessionsPerConn; HTTP ignores it).
+	SessionsPerConn int
 	// Clients is the number of concurrent sessions to hold open.
 	Clients int
 	// StepsPerClient bounds each client's decisions (0 = run until the
@@ -98,6 +109,7 @@ type Result struct {
 	DemotionViolations int64
 	Elapsed            time.Duration
 	latencies          []time.Duration
+	connSetups         []time.Duration
 }
 
 // Throughput returns served steps per second over the run.
@@ -110,14 +122,27 @@ func (r *Result) Throughput() float64 {
 
 // LatencyQuantile returns the q-th (0..1) client-observed step latency.
 func (r *Result) LatencyQuantile(q float64) time.Duration {
-	if len(r.latencies) == 0 {
+	return quantile(r.latencies, q)
+}
+
+// ConnSetupQuantile returns the q-th (0..1) session-establishment
+// cost: for the binary protocol, dial + Hello/Welcome + Open/Opened;
+// for HTTP, the session-create request. Reported separately from step
+// latency so the persistent protocol's amortized advantage is visible
+// next to its up-front cost.
+func (r *Result) ConnSetupQuantile(q float64) time.Duration {
+	return quantile(r.connSetups, q)
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(r.latencies)))
-	if i >= len(r.latencies) {
-		i = len(r.latencies) - 1
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
 	}
-	return r.latencies[i]
+	return sorted[i]
 }
 
 // client is one synthetic viewer.
@@ -131,6 +156,10 @@ type client struct {
 	sessionID string
 	env       *abr.Env
 	obs       []float64
+	mux       *binMux // shared binary connection (Protocol binary only)
+	slot      uint32  // this session's channel id on the mux
+	seq       uint32
+	connSetup time.Duration
 
 	stepsOK      int64
 	drained      int64
@@ -243,12 +272,32 @@ func (c *client) do(ctx context.Context, url string, body []byte) (*http.Respons
 	}
 }
 
+// create establishes the client's session over the configured
+// protocol; step takes one decision round trip. Both report
+// HTTP-style status codes so the caller's classification is
+// transport-agnostic.
 func (c *client) create(ctx context.Context) (int, error) {
+	if c.cfg.Protocol == ProtocolBinary {
+		return c.createBinary(ctx)
+	}
+	return c.createHTTP(ctx)
+}
+
+func (c *client) step(ctx context.Context) bool {
+	if c.cfg.Protocol == ProtocolBinary {
+		return c.stepBinary(ctx)
+	}
+	return c.stepHTTP(ctx)
+}
+
+func (c *client) createHTTP(ctx context.Context) (int, error) {
 	body, _ := json.Marshal(map[string]string{"scheme": c.scheme})
+	start := time.Now()
 	resp, _, err := c.do(ctx, c.cfg.BaseURL+"/v1/sessions", body)
 	if err != nil {
 		return 0, err
 	}
+	c.connSetup = time.Since(start)
 	defer drainBody(resp)
 	if resp.StatusCode != http.StatusCreated {
 		return resp.StatusCode, fmt.Errorf("create: status %s", resp.Status)
@@ -261,9 +310,9 @@ func (c *client) create(ctx context.Context) (int, error) {
 	return resp.StatusCode, nil
 }
 
-// step posts the current observation and advances the local env with
-// the returned action.
-func (c *client) step(ctx context.Context) (ok bool) {
+// stepHTTP posts the current observation and advances the local env
+// with the returned action.
+func (c *client) stepHTTP(ctx context.Context) (ok bool) {
 	body, err := json.Marshal(map[string][]float64{"obs": c.obs})
 	if err != nil {
 		c.dropped++
@@ -322,8 +371,20 @@ func drainBody(resp *http.Response) {
 // server drains. It returns aggregate counts and the merged, sorted
 // per-step latencies.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	if cfg.BaseURL == "" || cfg.Clients <= 0 {
-		return nil, fmt.Errorf("loadgen: BaseURL and Clients are required")
+	switch cfg.Protocol {
+	case "", ProtocolHTTP:
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("loadgen: BaseURL is required for the HTTP protocol")
+		}
+	case ProtocolBinary:
+		if cfg.Addr == "" {
+			return nil, fmt.Errorf("loadgen: Addr is required for the binary protocol")
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown protocol %q", cfg.Protocol)
+	}
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("loadgen: Clients must be positive")
 	}
 	if cfg.Video == nil || len(cfg.Traces) == 0 {
 		return nil, fmt.Errorf("loadgen: Video and Traces are required")
@@ -342,6 +403,28 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		schemes = []string{"ND"}
 	}
 
+	// Binary transport: sessions share multiplexed connections in
+	// groups of SessionsPerConn; group i/k rides mux[i/k] on slot i%k.
+	var muxes []*binMux
+	perConn := 0
+	if cfg.Protocol == ProtocolBinary {
+		perConn = cfg.SessionsPerConn
+		if perConn <= 0 {
+			perConn = DefaultSessionsPerConn
+		}
+		if perConn > cfg.Clients {
+			perConn = cfg.Clients
+		}
+		muxes = make([]*binMux, (cfg.Clients+perConn-1)/perConn)
+		for i := range muxes {
+			slots := perConn
+			if rem := cfg.Clients - i*perConn; rem < slots {
+				slots = rem
+			}
+			muxes[i] = newBinMux(&cfg, slots)
+		}
+	}
+
 	res := &Result{}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -356,6 +439,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				http:   httpClient,
 				scheme: schemes[i%len(schemes)],
 				rng:    stats.NewRNG(cfg.Seed ^ (uint64(i)*0x9E3779B97F4A7C15 + 1)),
+			}
+			if muxes != nil {
+				c.mux = muxes[i/perConn]
+				c.slot = uint32(i % perConn)
 			}
 			if cfg.ClientDelay != nil {
 				c.delay = cfg.ClientDelay(i)
@@ -410,13 +497,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				res.SessionsDemoted++
 			}
 			res.latencies = append(res.latencies, c.latencies...)
+			res.connSetups = append(res.connSetups, c.connSetup)
 			mu.Unlock()
 		}(i)
 	}
 	wg.Wait()
+	for _, m := range muxes {
+		m.close()
+	}
 	res.Elapsed = time.Since(start)
 	res.SessionsCreated = created.Load()
 	res.SessionsRejected = rejected.Load()
 	sort.Slice(res.latencies, func(a, b int) bool { return res.latencies[a] < res.latencies[b] })
+	sort.Slice(res.connSetups, func(a, b int) bool { return res.connSetups[a] < res.connSetups[b] })
 	return res, nil
 }

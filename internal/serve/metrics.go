@@ -18,23 +18,33 @@ var latencyBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
 }
 
-// Histogram is a lock-free fixed-bucket latency histogram in the
-// Prometheus cumulative style: counts[i] observations ≤ bucket i, with
-// a trailing +Inf bucket, plus a running sum of observed seconds.
+// batchSizeBuckets bound the batch-size histogram: powers of two up to
+// the largest plausible MaxBatch.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Histogram is a lock-free fixed-bucket histogram in the Prometheus
+// cumulative style: counts[i] observations ≤ bounds[i], with a
+// trailing +Inf bucket, plus a running sum of observed values.
 type Histogram struct {
-	counts []atomic.Uint64 // len(latencyBuckets)+1, last is +Inf
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
 	sum    atomic.Uint64   // math.Float64bits of the running sum
 	total  atomic.Uint64
 }
 
-// NewHistogram returns an empty latency histogram.
-func NewHistogram() *Histogram {
-	return &Histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+// NewHistogram returns an empty latency histogram over the standard
+// request-latency buckets.
+func NewHistogram() *Histogram { return NewHistogramBuckets(latencyBuckets) }
+
+// NewHistogramBuckets returns an empty histogram over custom ascending
+// upper bounds.
+func NewHistogramBuckets(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-// Observe records one latency in seconds.
+// Observe records one value (seconds for latency histograms).
 func (h *Histogram) Observe(sec float64) {
-	i := sort.SearchFloat64s(latencyBuckets, sec)
+	i := sort.SearchFloat64s(h.bounds, sec)
 	h.counts[i].Add(1)
 	h.total.Add(1)
 	for {
@@ -67,11 +77,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if float64(cum)+float64(c) >= rank {
 			lo := 0.0
 			if i > 0 {
-				lo = latencyBuckets[i-1]
+				lo = h.bounds[i-1]
 			}
 			hi := 2 * lo // +Inf bucket: extrapolate one doubling
-			if i < len(latencyBuckets) {
-				hi = latencyBuckets[i]
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
 			}
 			if c == 0 {
 				return hi
@@ -81,7 +91,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += c
 	}
-	return latencyBuckets[len(latencyBuckets)-1]
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Metrics aggregates the server's counters and per-endpoint latency
@@ -102,13 +112,26 @@ type Metrics struct {
 	NonFiniteScores  atomic.Uint64 // demotions caused by a NaN/Inf score
 	DegradedSteps    atomic.Uint64 // steps served by demoted sessions
 
+	// Micro-batching instrumentation (see batch.go). QueueLatency is
+	// enqueue→flush-start, DecisionLatency is flush-start→completion —
+	// together they decompose a batched step's server-side latency.
+	// BatchSize records sessions fused per flush.
+	QueueLatency    *Histogram
+	DecisionLatency *Histogram
+	BatchSize       *Histogram
+
 	mu        sync.Mutex
 	latencies map[string]*Histogram
 }
 
 // NewMetrics returns a zeroed metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{latencies: make(map[string]*Histogram)}
+	return &Metrics{
+		latencies:       make(map[string]*Histogram),
+		QueueLatency:    NewHistogram(),
+		DecisionLatency: NewHistogram(),
+		BatchSize:       NewHistogramBuckets(batchSizeBuckets),
+	}
 }
 
 // Latency returns (creating on first use) the histogram for an
@@ -159,6 +182,23 @@ func (m *Metrics) WriteProm(w io.Writer, liveSessions, demotedLive int) error {
 	counter("osap_step_nonfinite_total", "Steps whose guard produced a non-finite result.", m.NonFiniteScores.Load())
 	counter("osap_decisions_degraded_total", "Decisions served by demoted sessions.", m.DegradedSteps.Load())
 
+	hist := func(name, help string, h *Histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		var cum uint64
+		for b := range h.counts {
+			cum += h.counts[b].Load()
+			le := math.Inf(+1)
+			if b < len(h.bounds) {
+				le = h.bounds[b]
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(le), cum)
+		}
+		fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum()), name, cum)
+	}
+	hist("osap_step_queue_seconds", "Batched step wait from enqueue to flush start.", m.QueueLatency)
+	hist("osap_step_decision_seconds", "Batched step time from flush start to completion.", m.DecisionLatency)
+	hist("osap_batch_size", "Sessions fused per micro-batch flush.", m.BatchSize)
+
 	// Stable endpoint order for deterministic output.
 	m.mu.Lock()
 	eps := make([]string, 0, len(m.latencies))
@@ -182,8 +222,8 @@ func (m *Metrics) WriteProm(w io.Writer, liveSessions, demotedLive int) error {
 		for b := range h.counts {
 			cum += h.counts[b].Load()
 			le := math.Inf(+1)
-			if b < len(latencyBuckets) {
-				le = latencyBuckets[b]
+			if b < len(h.bounds) {
+				le = h.bounds[b]
 			}
 			fmt.Fprintf(w, "osap_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
 				ep, promFloat(le), cum)

@@ -1,0 +1,323 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+)
+
+// pipeConn builds a Conn whose writes land in buf and whose reads
+// consume from buf — enough to exercise both directions in-process.
+func pipeConn(buf *bytes.Buffer) *Conn { return NewConn(buf) }
+
+func TestStepRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := pipeConn(&buf)
+	obs := []float64{1.5, -0.0, math.Inf(1), math.NaN(), 1e-300, 42}
+	if err := c.WriteStep(63, 7, obs); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeStep {
+		t.Fatalf("type %d, want TypeStep", typ)
+	}
+	if cid, ok := StepCid(payload); !ok || cid != 63 {
+		t.Fatalf("StepCid = %d %v, want 63 true", cid, ok)
+	}
+	got := make([]float64, len(obs))
+	cid, seq, err := DecodeStep(payload, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cid != 63 || seq != 7 {
+		t.Fatalf("cid %d seq %d, want 63 7", cid, seq)
+	}
+	for i := range obs {
+		if math.Float64bits(got[i]) != math.Float64bits(obs[i]) {
+			t.Fatalf("obs[%d] = %g (%#x), want %g (%#x) — not bit-identical",
+				i, got[i], math.Float64bits(got[i]), obs[i], math.Float64bits(obs[i]))
+		}
+	}
+	// Dimension mismatch must be rejected, not silently truncated.
+	if _, _, err := DecodeStep(payload, make([]float64, len(obs)+1)); err == nil {
+		t.Fatal("DecodeStep accepted a dimension mismatch")
+	}
+}
+
+func TestDecisionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := pipeConn(&buf)
+	want := Decision{Cid: 1023, Seq: 99, Action: 5, Flags: FlagFallback | FlagDemoted, Step: 1234, Score: -0.625}
+	if err := c.WriteDecision(want); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeDecision {
+		t.Fatalf("type %d, want TypeDecision", typ)
+	}
+	got, err := DecodeDecision(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("decision %+v, want %+v", got, want)
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := pipeConn(&buf)
+	if err := c.WriteHello(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.ReadFrame()
+	if err != nil || typ != TypeHello {
+		t.Fatalf("read hello: type %d err %v", typ, err)
+	}
+	if err := DecodeHello(payload); err != nil {
+		t.Fatal(err)
+	}
+
+	want := Welcome{Version: Version, ObsDim: 48, NumActions: 6,
+		Dataset: "norway", Schemes: []string{"ND", "A-ensemble", "V-ensemble"}}
+	if err := c.WriteWelcome(want); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = c.ReadFrame()
+	if err != nil || typ != TypeWelcome {
+		t.Fatalf("read welcome: type %d err %v", typ, err)
+	}
+	got, err := DecodeWelcome(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version || got.ObsDim != want.ObsDim ||
+		got.NumActions != want.NumActions || got.Dataset != want.Dataset ||
+		len(got.Schemes) != len(want.Schemes) {
+		t.Fatalf("welcome %+v, want %+v", got, want)
+	}
+	for i := range want.Schemes {
+		if got.Schemes[i] != want.Schemes[i] {
+			t.Fatalf("scheme[%d] %q, want %q", i, got.Schemes[i], want.Schemes[i])
+		}
+	}
+}
+
+func TestControlRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	c := pipeConn(&buf)
+
+	if err := c.WriteOpen(5, "A-ensemble"); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _ := c.ReadFrame()
+	if cid, s, err := DecodeOpen(payload); typ != TypeOpen || err != nil || cid != 5 || s != "A-ensemble" {
+		t.Fatalf("open round trip: type %d cid %d %q %v", typ, cid, s, err)
+	}
+
+	if err := c.WriteOpened(5, "abc-123"); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _ = c.ReadFrame()
+	if cid, id, err := DecodeOpened(payload); typ != TypeOpened || err != nil || cid != 5 || id != "abc-123" {
+		t.Fatalf("opened round trip: type %d cid %d %q %v", typ, cid, id, err)
+	}
+
+	if err := c.WriteError(9, CodeTooMany, "session table full"); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _ = c.ReadFrame()
+	cid, code, msg, err := DecodeError(payload)
+	if typ != TypeError || err != nil || cid != 9 || code != CodeTooMany || msg != "session table full" {
+		t.Fatalf("error round trip: type %d cid %d code %d %q %v", typ, cid, code, msg, err)
+	}
+
+	// Connection-scoped errors carry the reserved cid.
+	if err := c.WriteError(CidConn, CodeBadRequest, "bad frame"); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, _ = c.ReadFrame()
+	if cid, _, _, err := DecodeError(payload); err != nil || cid != CidConn {
+		t.Fatalf("conn-scoped error: cid %#x %v, want CidConn", cid, err)
+	}
+
+	if err := c.WriteSessionControl(TypeClose, 77); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _ = c.ReadFrame()
+	if cid, err := DecodeCid(payload); typ != TypeClose || err != nil || cid != 77 {
+		t.Fatalf("close round trip: type %d cid %d %v", typ, cid, err)
+	}
+
+	if err := c.WriteGoAway("draining"); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _ = c.ReadFrame()
+	if typ != TypeGoAway || string(payload) != "draining" {
+		t.Fatalf("goaway round trip: type %d %q", typ, payload)
+	}
+
+	if err := c.WriteControl(TypePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, _ = c.ReadFrame()
+	if typ != TypePing || len(payload) != 0 {
+		t.Fatalf("ping round trip: type %d payload %d bytes", typ, len(payload))
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	// Oversized frame.
+	var buf bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, MaxFrame+1)
+	buf.Write(hdr)
+	if _, _, err := pipeConn(&buf).ReadFrame(); err != ErrFrameTooLarge {
+		t.Fatalf("oversized frame: err %v, want ErrFrameTooLarge", err)
+	}
+
+	// Zero-length body.
+	buf.Reset()
+	binary.LittleEndian.PutUint32(hdr, 0)
+	buf.Write(hdr)
+	if _, _, err := pipeConn(&buf).ReadFrame(); err != ErrShortFrame {
+		t.Fatalf("empty frame: err %v, want ErrShortFrame", err)
+	}
+
+	// Truncated payload.
+	buf.Reset()
+	binary.LittleEndian.PutUint32(hdr, 100)
+	buf.Write(hdr)
+	buf.WriteByte(byte(TypeStep))
+	if _, _, err := pipeConn(&buf).ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: err %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Hello with the wrong magic / version.
+	if err := DecodeHello([]byte("NOPE\x01")); err != ErrBadMagic {
+		t.Fatalf("bad magic: err %v", err)
+	}
+	if err := DecodeHello([]byte("OSAP\x7f")); err != ErrVersion {
+		t.Fatalf("bad version: err %v", err)
+	}
+	if err := DecodeHello([]byte("OSAP")); err != ErrShortFrame {
+		t.Fatalf("short hello: err %v", err)
+	}
+
+	// Short decision / step / cid / error payloads.
+	if _, err := DecodeDecision(make([]byte, 5)); err != ErrShortFrame {
+		t.Fatalf("short decision: err %v", err)
+	}
+	if _, _, err := DecodeStep(make([]byte, 3), make([]float64, 1)); err != ErrShortFrame {
+		t.Fatalf("short step: err %v", err)
+	}
+	if _, err := DecodeCid(make([]byte, 3)); err != ErrShortFrame {
+		t.Fatalf("short cid: err %v", err)
+	}
+	if _, _, _, err := DecodeError(make([]byte, 5)); err != ErrShortFrame {
+		t.Fatalf("short error: err %v", err)
+	}
+	if _, ok := StepCid(make([]byte, 3)); ok {
+		t.Fatal("StepCid accepted a 3-byte payload")
+	}
+}
+
+// TestEncodeZeroAlloc pins the frame encode path: once the write
+// buffer is warm, WriteStep and WriteDecision must not allocate.
+func TestEncodeZeroAlloc(t *testing.T) {
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{nil, io.Discard})
+	obs := make([]float64, 48)
+	if err := c.WriteStep(0, 0, obs); err != nil { // warm wbuf
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := c.WriteStep(3, 1, obs); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("WriteStep allocates %.2f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := c.WriteDecision(Decision{Cid: 3, Seq: 1, Action: 2, Step: 3, Score: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("WriteDecision allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestDecodeZeroAlloc pins the frame decode path: ReadFrame +
+// DecodeStep reuse connection buffers once warm.
+func TestDecodeZeroAlloc(t *testing.T) {
+	const runs = 100
+	var enc bytes.Buffer
+	w := NewConn(&enc)
+	obs := []float64{1, 2, 3, 4, 5, 6}
+	for i := 0; i < runs+10; i++ {
+		if err := w.WriteStep(uint32(i%7), uint32(i), obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{bytes.NewReader(enc.Bytes()), io.Discard})
+	got := make([]float64, len(obs))
+	if _, _, err := c.ReadFrame(); err != nil { // warm rbuf
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(runs, func() {
+		_, payload, err := c.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := DecodeStep(payload, got); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("ReadFrame+DecodeStep allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestManualFlushCoalesces pins the mux writer contract: with
+// ManualFlush on, Write* only appends to the buffered writer and
+// nothing reaches the transport until Flush.
+func TestManualFlushCoalesces(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	c.ManualFlush()
+	obs := make([]float64, 8)
+	for cid := uint32(0); cid < 4; cid++ {
+		if err := c.WriteStep(cid, 1, obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("manual-flush conn wrote %d bytes before Flush", buf.Len())
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewConn(&buf)
+	for cid := uint32(0); cid < 4; cid++ {
+		typ, payload, err := r.ReadFrame()
+		if err != nil || typ != TypeStep {
+			t.Fatalf("frame %d: type %d err %v", cid, typ, err)
+		}
+		got, _, err := DecodeStep(payload, obs)
+		if err != nil || got != cid {
+			t.Fatalf("frame %d decoded cid %d err %v", cid, got, err)
+		}
+	}
+}

@@ -114,6 +114,28 @@ func (f *GuardFactory) Schemes() []string {
 	return out
 }
 
+// defaultPolicy adapts the safe BB policy for serving: abr.BBPolicy
+// emits a fresh one-hot per call (fine in experiment loops), but a
+// served session's defaulted steps are hot-path too, so the one-hot is
+// written into a session-owned buffer instead. Single-goroutine, like
+// every per-session component.
+type defaultPolicy struct {
+	bb     *abr.BBPolicy
+	onehot []float64
+}
+
+// Probs implements mdp.Policy without heap allocation; the result is
+// valid until the next call.
+//
+//osap:hotpath
+func (p *defaultPolicy) Probs(obs []float64) []float64 {
+	for i := range p.onehot {
+		p.onehot[i] = 0
+	}
+	p.onehot[p.bb.Level(abr.BufferSecFromObs(obs))] = 1
+	return p.onehot
+}
+
 // NewGuard assembles a fresh guard for one session: the deployed agent
 // served greedily through a private workspace, the buffer-based policy
 // as the safe default, and the scheme's signal + trigger using the
@@ -121,7 +143,7 @@ func (f *GuardFactory) Schemes() []string {
 // single-goroutine; never share it across sessions.
 func (f *GuardFactory) NewGuard(scheme string) (*core.Guard, error) {
 	learned := rl.NewGreedyInference(f.arts.Agents[0])
-	def := abr.NewBBPolicy(f.NumActions())
+	def := &defaultPolicy{bb: abr.NewBBPolicy(f.NumActions()), onehot: make([]float64, f.NumActions())}
 
 	var sig core.Signal
 	var trig *core.Trigger

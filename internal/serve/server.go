@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -39,6 +40,15 @@ type Config struct {
 	// production wiring it is nil and costs one pointer check per
 	// session creation (nothing per step).
 	WrapGuard func(idx uint64, g *core.Guard)
+	// Batch configures cross-session micro-batching (see BatchConfig);
+	// the zero value enables it with defaults.
+	Batch BatchConfig
+	// FrameFault, if set, runs before each binary-protocol frame is
+	// served and may inject a transient rejection (answered with an
+	// Error frame the client retries, never a drain) and/or a stall —
+	// the binary twin of the chaos HTTP middleware. Nil in production
+	// wiring; costs one pointer check per frame.
+	FrameFault func() (reject bool, delay time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -83,9 +93,20 @@ type Server struct {
 	table   *Table
 	metrics *Metrics
 	mux     *http.ServeMux
+	batcher *Batcher // nil when Config.Batch.Disable
 
 	draining atomic.Bool
-	inflight sync.WaitGroup // step/create handlers in flight
+	// opGate tracks in-flight mutating handlers (create/step/reset) as
+	// readers; Drain takes the write side as a barrier after raising
+	// the draining flag, so "all pre-drain operations have finished" is
+	// a plain Lock/Unlock — unlike a WaitGroup, concurrent
+	// begin-op/barrier is well-defined.
+	opGate sync.RWMutex
+
+	// conns tracks live binary-protocol connections (ServeBinary) so
+	// Drain can force-close handlers blocked in a frame read.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	// demotedLive tracks live sessions serving in degraded mode:
 	// incremented by the step handler on first demotion, decremented by
@@ -112,9 +133,17 @@ func NewServer(f *GuardFactory, cfg Config) (*Server, error) {
 		table:     NewTable(cfg.Shards, cfg.MaxSessions),
 		metrics:   NewMetrics(),
 		mux:       http.NewServeMux(),
+		conns:     make(map[net.Conn]struct{}),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 		idSalt:    rand.Uint64() | 1,
+	}
+	if !cfg.Batch.Disable {
+		b, err := newBatcher(f, s.metrics, cfg.Batch)
+		if err != nil {
+			return nil, err
+		}
+		s.batcher = b
 	}
 	s.table.SetOnClose(func(sess *Session) {
 		if sess.Demoted() {
@@ -203,9 +232,12 @@ func (s *Server) Drain(ctx context.Context, w io.Writer) error {
 	<-s.sweepDone
 
 	// Wait for in-flight handlers, respecting the caller's deadline.
+	// The barrier goroutine may outlive a deadline expiry; it releases
+	// the write lock as soon as the stragglers finish.
 	done := make(chan struct{})
 	go func() {
-		s.inflight.Wait()
+		s.opGate.Lock()
+		s.opGate.Unlock() //nolint:staticcheck // barrier, not critical section
 		close(done)
 	}()
 	var err error
@@ -214,6 +246,18 @@ func (s *Server) Drain(ctx context.Context, w io.Writer) error {
 	case <-ctx.Done():
 		err = fmt.Errorf("serve: drain: %w", ctx.Err())
 	}
+
+	// Stop the collectors after the in-flight steps have completed;
+	// Stop flushes anything still parked, so even a deadline-expired
+	// drain leaves no step waiting forever.
+	if s.batcher != nil {
+		s.batcher.Stop()
+	}
+
+	// Force-close binary connections: every pre-drain step has been
+	// answered, and a handler parked in a frame read has no further
+	// traffic coming (the client sees EOF, its drain signal).
+	s.closeConns()
 
 	drained := s.table.Clear()
 	s.metrics.SessionsDrained.Add(uint64(drained))
@@ -276,8 +320,8 @@ func (s *Server) rejectBusy(w http.ResponseWriter, code int, msg string) {
 // ---- handlers ----
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	s.inflight.Add(1)
-	defer s.inflight.Done()
+	s.opGate.RLock()
+	defer s.opGate.RUnlock()
 	if s.draining.Load() {
 		s.metrics.DrainRejected.Add(1)
 		s.rejectBusy(w, http.StatusServiceUnavailable, "server is draining")
@@ -291,10 +335,33 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Scheme == "" {
 		req.Scheme = SchemeND
 	}
-	guard, err := s.factory.NewGuard(req.Scheme)
+	sess, err := s.createSession(req.Scheme)
 	if err != nil {
+		if errors.Is(err, ErrTableFull) {
+			s.metrics.SessionsRejected.Add(1)
+			s.rejectBusy(w, http.StatusTooManyRequests, "session table full")
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	writeJSON(w, http.StatusCreated, createResponse{
+		ID:         sess.ID(),
+		Scheme:     sess.Scheme(),
+		Dataset:    s.factory.Dataset(),
+		ObsDim:     s.factory.ObsDim(),
+		NumActions: s.factory.NumActions(),
+	})
+}
+
+// createSession builds, wraps, classifies and publishes one session —
+// the shared core of the HTTP and binary create paths. A returned
+// ErrTableFull means admission control refused the session; any other
+// error is a bad scheme.
+func (s *Server) createSession(scheme string) (*Session, error) {
+	guard, err := s.factory.NewGuard(scheme)
+	if err != nil {
+		return nil, err
 	}
 	now := s.cfg.Now()
 	idx := s.idCtr.Add(1)
@@ -302,53 +369,35 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.WrapGuard != nil {
 		s.cfg.WrapGuard(idx-1, guard)
 	}
-	sess := newSession(id, req.Scheme, guard, now)
+	sess := newSession(id, scheme, guard, now)
+	sess.class = classifyGuard(guard)
+	if s.batcher != nil {
+		sess.shard = s.batcher.assignShard()
+	}
 	if err := s.table.Put(sess); err != nil {
-		if errors.Is(err, ErrTableFull) {
-			s.metrics.SessionsRejected.Add(1)
-			s.rejectBusy(w, http.StatusTooManyRequests, "session table full")
-			return
-		}
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+		return nil, err
 	}
 	s.metrics.SessionsCreated.Add(1)
-	writeJSON(w, http.StatusCreated, createResponse{
-		ID:         id,
-		Scheme:     req.Scheme,
-		Dataset:    s.factory.Dataset(),
-		ObsDim:     s.factory.ObsDim(),
-		NumActions: s.factory.NumActions(),
-	})
+	return sess, nil
 }
 
-func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
-	s.inflight.Add(1)
-	defer s.inflight.Done()
-	if s.draining.Load() {
-		s.metrics.DrainRejected.Add(1)
-		s.rejectBusy(w, http.StatusServiceUnavailable, "server is draining")
-		return
+// stepSession routes one validated step: through the session's
+// collector shard when batching is on and the session is batchable,
+// directly otherwise.
+//
+//osap:hotpath
+func (s *Server) stepSession(sess *Session, obs []float64) (StepResult, error) {
+	if s.batcher != nil && sess.class != classSeq {
+		return s.batcher.do(sess, obs, s.cfg.Now())
 	}
-	sess, ok := s.table.Get(r.PathValue("id"))
-	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown session")
-		return
-	}
-	var req stepRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
-		return
-	}
-	if len(req.Obs) != s.factory.ObsDim() {
-		s.writeError(w, http.StatusBadRequest, "obs has %d values, want %d", len(req.Obs), s.factory.ObsDim())
-		return
-	}
-	res, err := sess.Step(req.Obs, s.cfg.Now())
-	if err != nil {
-		s.writeError(w, http.StatusGone, "%v", err)
-		return
-	}
+	return sess.Step(obs, s.cfg.Now())
+}
+
+// recordStep folds one step outcome into the counters — shared by the
+// HTTP and binary step paths.
+//
+//osap:hotpath
+func (s *Server) recordStep(res StepResult) {
 	s.metrics.Decisions.Add(1)
 	if res.Decision.UsedDefault {
 		s.metrics.Fallbacks.Add(1)
@@ -368,6 +417,36 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	if res.Demoted {
 		s.metrics.DegradedSteps.Add(1)
 	}
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	s.opGate.RLock()
+	defer s.opGate.RUnlock()
+	if s.draining.Load() {
+		s.metrics.DrainRejected.Add(1)
+		s.rejectBusy(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess, ok := s.table.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	var req stepRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Obs) != s.factory.ObsDim() {
+		s.writeError(w, http.StatusBadRequest, "obs has %d values, want %d", len(req.Obs), s.factory.ObsDim())
+		return
+	}
+	res, err := s.stepSession(sess, req.Obs)
+	if err != nil {
+		s.writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	s.recordStep(res)
 	writeJSON(w, http.StatusOK, stepResponse{
 		Action:   res.Action,
 		Score:    res.Decision.Score,
@@ -380,8 +459,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
-	s.inflight.Add(1)
-	defer s.inflight.Done()
+	s.opGate.RLock()
+	defer s.opGate.RUnlock()
 	sess, ok := s.table.Get(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "unknown session")

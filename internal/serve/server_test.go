@@ -23,7 +23,7 @@ var (
 
 // sharedArtifacts builds one synthetic artifact set per test binary;
 // artifacts are read-only so every server can share them.
-func sharedArtifacts(t *testing.T) *experiments.Artifacts {
+func sharedArtifacts(t testing.TB) *experiments.Artifacts {
 	t.Helper()
 	testArtsOnce.Do(func() {
 		a, err := SyntheticArtifacts("testdist", 3, 7)

@@ -10,6 +10,7 @@ import (
 
 	"osap/internal/core"
 	"osap/internal/mdp"
+	"osap/internal/rl"
 )
 
 // ErrSessionClosed is returned by Session.Step after the session has
@@ -42,6 +43,13 @@ type Session struct {
 	// lastUsed is the UnixNano of the latest touch, read lock-free by
 	// the eviction sweeper.
 	lastUsed atomic.Int64
+
+	// Batch routing, written once before the session is published to
+	// the table and read-only afterwards: which collector shard owns
+	// this session's steps and how much of a step the batch engine can
+	// compute for it (see classifyGuard).
+	shard int
+	class batchClass
 }
 
 // newSession wraps a guard. The caller owns ID uniqueness.
@@ -104,6 +112,39 @@ func (s *Session) Step(obs []float64, now time.Time) (StepResult, error) {
 		return res, nil
 	}
 	d, pv := s.decide(obs)
+	return s.finishLocked(obs, d, pv, now)
+}
+
+// stepBatched is Step with the expensive inference inputs supplied by
+// the batch engine (see internal/serve batch.go): the uncertainty
+// score comes from the signal's batched entry point and the learned
+// distribution from the fused deployed forward. Demotion rules, fault
+// containment and bookkeeping are shared with Step via finishLocked,
+// so a batched step is observably identical to a sequential one.
+//
+//osap:hotpath
+func (s *Session) stepBatched(obs []float64, ev *batchEval, now time.Time) (StepResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return StepResult{}, ErrSessionClosed
+	}
+	if s.demoted {
+		res := s.serveSafeLocked(obs)
+		s.steps++
+		s.lastUsed.Store(now.UnixNano())
+		return res, nil
+	}
+	d, pv := s.decideBatched(obs, ev)
+	return s.finishLocked(obs, d, pv, now)
+}
+
+// finishLocked is the shared tail of Step/stepBatched: demote on a
+// fault, otherwise surface the decision metadata and advance the
+// bookkeeping.
+//
+//osap:hotpath
+func (s *Session) finishLocked(obs []float64, d core.Decision, pv any, now time.Time) (StepResult, error) {
 	if pv != nil || !finiteDecision(&d) {
 		//osap:ignore hotpath-alloc demotion slow path, runs at most once per session
 		s.demoteLocked(fmt.Sprintf("step %d: panic=%v score=%g", s.steps, pv, d.Score))
@@ -136,6 +177,41 @@ func (s *Session) decide(obs []float64) (d core.Decision, panicked any) {
 		}
 	}()
 	d = s.guard.Decide(obs)
+	return d, nil
+}
+
+// batchEval carries the batch-computed inputs for one session's step.
+// The slices alias collector-owned scratch and are valid only for the
+// duration of the stepBatched call.
+type batchEval struct {
+	class    batchClass
+	deployed []float64   // deployed actor's distribution row
+	dists    [][]float64 // U_π member rows (classBatchPolicy)
+	vals     []float64   // U_V member values (classBatchValue)
+}
+
+// decideBatched mirrors decide for the batched path: score the signal
+// from the batch-computed inputs, derive the learned one-hot from the
+// fused deployed forward, and advance the guard via DecideWith — all
+// under the same panic containment as decide. The type assertions are
+// safe by construction: classifyGuard proved them at session creation.
+func (s *Session) decideBatched(obs []float64, ev *batchEval) (d core.Decision, panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = r
+		}
+	}()
+	var score float64
+	switch ev.class {
+	case classBatchPolicy:
+		score = s.guard.Signal.(*core.PolicySignal).ObserveDists(ev.dists)
+	case classBatchValue:
+		score = s.guard.Signal.(*core.ValueSignal).ObserveValues(ev.vals)
+	default:
+		score = s.guard.Signal.Observe(obs)
+	}
+	learned := s.guard.Learned.(*rl.GreedyInference).OneHot(ev.deployed)
+	d = s.guard.DecideWith(obs, score, learned)
 	return d, nil
 }
 
