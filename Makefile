@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X osap/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench chaos
+.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench chaos rollout-selftest
 
 all: build
 
@@ -42,7 +42,7 @@ fmt-check:
 race:
 	$(GO) test -race . ./cmd/... ./internal/...
 
-ci: verify vet lint fmt-check race
+ci: verify vet lint fmt-check race rollout-selftest
 
 # Full benchmark suite (figures, ablations, latency).
 bench:
@@ -65,3 +65,12 @@ serve-bench:
 # crash, no dropped step, exactly the scheduled demotions, clean drain.
 chaos:
 	$(GO) run -race $(LDFLAGS) ./cmd/osap-serve -chaos
+
+# Hot-reload/canary selftest (DESIGN.md §11): publish versions into a
+# throwaway registry, stage a 10% canary under a 1000-client wave and
+# auto-promote it (asserting pinned sessions decide bit-identically
+# across the swap and /dashboard drift quantiles match a sequential
+# reference), then auto-roll-back a poisoned candidate and refuse a
+# bit-flipped one — zero dropped steps throughout.
+rollout-selftest:
+	$(GO) run $(LDFLAGS) ./cmd/osap-serve -rollout

@@ -54,6 +54,7 @@ import (
 	"osap/internal/abr"
 	"osap/internal/buildinfo"
 	"osap/internal/experiments"
+	"osap/internal/registry"
 	"osap/internal/serve"
 	"osap/internal/serve/loadgen"
 	"osap/internal/stats"
@@ -64,12 +65,16 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	binAddr := flag.String("binary-addr", "", "binary-protocol listen address (empty = HTTP only)")
 	models := flag.String("models", "", "directory of pre-trained artifacts (osap-train output)")
+	registryDir := flag.String("registry", "", "versioned artifact registry root (osap-train -registry output); overrides -models")
+	canaryFraction := flag.Float64("canary-fraction", 0, "fraction of new sessions routed to a staged candidate (0 = default 0.10)")
+	rollbackMargin := flag.Float64("rollback-margin", 0, "excess candidate demotion/fallback rate that triggers auto-rollback (0 = default 0.05)")
 	dataset := flag.String("dataset", trace.DatasetNorway, "training distribution to serve")
 	maxSessions := flag.Int("max-sessions", 10000, "admission-control cap on live sessions (0 = unlimited)")
 	shards := flag.Int("shards", 64, "session-table shard count (rounded up to a power of two)")
 	ttl := flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
 	selftest := flag.Bool("selftest", false, "run the load-generator matrix instead of serving")
 	chaosTest := flag.Bool("chaos", false, "run the fault-injection self-test instead of serving")
+	rolloutTest := flag.Bool("rollout", false, "run the hot-reload/canary self-test instead of serving")
 	chaosSeed := flag.Uint64("chaos-seed", 20200713, "chaos: fault-schedule seed")
 	chaosSteps := flag.Int("chaos-steps", 48, "chaos: decisions per client")
 	transport := flag.String("transport", loadgen.ProtocolHTTP, `chaos: wire protocol ("http" or "binary")`)
@@ -90,15 +95,21 @@ func main() {
 		MaxSessions: *maxSessions,
 		Shards:      *shards,
 		SessionTTL:  *ttl,
+		Rollout: serve.RolloutConfig{
+			CanaryFraction: *canaryFraction,
+			RollbackMargin: *rollbackMargin,
+		},
 	}
 	var err error
 	switch {
+	case *rolloutTest:
+		err = runRolloutSelfTest(cfg, *dataset, *clients, *chaosSeed)
 	case *chaosTest:
 		err = runChaos(cfg, *dataset, *clients, *chaosSteps, *chaosSeed, *transport)
 	case *selftest:
 		err = runSelfTest(cfg, *dataset, *models, *clients, *warmup, *measure, *benchOut)
 	default:
-		err = runServer(*addr, *binAddr, cfg, *dataset, *models)
+		err = runServer(*addr, *binAddr, cfg, *dataset, *models, *registryDir)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "osap-serve:", err)
@@ -106,10 +117,25 @@ func main() {
 	}
 }
 
+// guardConfigFor derives the serving guard configuration for a dataset
+// from the quick-scale lab defaults — shared by every way of obtaining
+// artifacts (-models, -registry, in-process training) so a given
+// artifact set always serves identically.
+func guardConfigFor(dataset string) serve.GuardConfig {
+	labCfg := experiments.QuickConfig()
+	k := labCfg.StateKSynthetic
+	if trace.IsEmpirical(dataset) {
+		k = labCfg.StateKEmpirical
+	}
+	gcfg := serve.GuardConfig{TriggerL: labCfg.TriggerL, Trim: labCfg.Trim}
+	gcfg.StateSignal.ThroughputWindow = labCfg.ThroughputWindow
+	gcfg.StateSignal.K = k
+	return gcfg
+}
+
 // loadFactory builds the guard factory: from a model directory when
 // given, otherwise by training quick-scale artifacts in process.
 func loadFactory(dataset, models string) (*serve.GuardFactory, error) {
-	labCfg := experiments.QuickConfig()
 	var arts *experiments.Artifacts
 	if models != "" {
 		path := filepath.Join(models, dataset+".json")
@@ -120,36 +146,55 @@ func loadFactory(dataset, models string) (*serve.GuardFactory, error) {
 		arts = a
 	} else {
 		fmt.Fprintf(os.Stderr, "no -models directory: training quick-scale artifacts for %s...\n", dataset)
-		lab, err := experiments.NewLab(labCfg)
+		lab, err := experiments.NewLab(experiments.QuickConfig())
 		if err != nil {
 			return nil, err
 		}
 		lab.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
-		arts, err = lab.Artifacts(dataset)
-		if err != nil {
-			return nil, err
+		var err2 error
+		arts, err2 = lab.Artifacts(dataset)
+		if err2 != nil {
+			return nil, err2
 		}
 	}
-	k := labCfg.StateKSynthetic
-	if trace.IsEmpirical(dataset) {
-		k = labCfg.StateKEmpirical
-	}
-	gcfg := serve.GuardConfig{TriggerL: labCfg.TriggerL, Trim: labCfg.Trim}
-	gcfg.StateSignal.ThroughputWindow = labCfg.ThroughputWindow
-	gcfg.StateSignal.K = k
-	return serve.NewGuardFactory(arts, gcfg)
+	return serve.NewGuardFactory(arts, guardConfigFor(dataset))
 }
 
-func runServer(addr, binAddr string, cfg serve.Config, dataset, models string) error {
-	factory, err := loadFactory(dataset, models)
-	if err != nil {
-		return err
+func runServer(addr, binAddr string, cfg serve.Config, dataset, models, registryDir string) error {
+	var factory *serve.GuardFactory
+	var reg *registry.Registry
+	if registryDir != "" {
+		var err error
+		if reg, factory, err = bootFromRegistry(&cfg, registryDir, dataset, ""); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if factory, err = loadFactory(dataset, models); err != nil {
+			return err
+		}
 	}
 	srv, err := serve.NewServer(factory, cfg)
 	if err != nil {
 		return err
 	}
 	srv.StartSweeper()
+
+	// Registry deployments watch the root for rename-published versions
+	// (poll + SIGHUP kick); single-file deployments have nothing to
+	// watch and keep their historical signal handling untouched.
+	var watcher *registry.Watcher
+	sighup := make(chan os.Signal, 1)
+	if reg != nil {
+		watcher, err = registry.NewWatcher(reg, 5*time.Second, func(added, all []string) {
+			fmt.Fprintf(os.Stderr, "registry: new versions %v published (available: %v); stage via POST /admin/rollout\n", added, all)
+		})
+		if err != nil {
+			return err
+		}
+		defer watcher.Stop()
+		signal.Notify(sighup, syscall.SIGHUP)
+	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	errc := make(chan error, 2)
@@ -176,11 +221,24 @@ func runServer(addr, binAddr string, cfg serve.Config, dataset, models string) e
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "received %s: draining...\n", s)
+wait:
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case <-sighup:
+			watcher.Rescan()
+			ro := srv.Rollout()
+			cand := "(none)"
+			if c := ro.Candidate(); c != nil {
+				cand = c.Version()
+			}
+			fmt.Fprintf(os.Stderr, "SIGHUP: registry rescan kicked; active=%s candidate=%s available=%v\n",
+				ro.Active().Version(), cand, cfg.ListVersions())
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "received %s: draining...\n", s)
+			break wait
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

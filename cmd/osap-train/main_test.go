@@ -6,11 +6,12 @@ import (
 	"testing"
 
 	"osap/internal/experiments"
+	"osap/internal/registry"
 )
 
 func TestRunTrainsAndPersists(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("gamma22", "quick", dir, false); err != nil {
+	if err := run("gamma22", "quick", dir, "", "", "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, "gamma22.json")
@@ -26,11 +27,37 @@ func TestRunTrainsAndPersists(t *testing.T) {
 	}
 }
 
+func TestRunPublishesToRegistry(t *testing.T) {
+	root := t.TempDir()
+	if err := run("gamma22", "quick", "", root, "v1", "", "first", false); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := reg.Load("v1", "gamma22")
+	if err != nil {
+		t.Fatalf("published version does not load back: %v", err)
+	}
+	if gen.Manifest.Notes != "first" || gen.Artifacts.Dataset != "gamma22" {
+		t.Errorf("manifest %+v, artifacts dataset %q", gen.Manifest, gen.Artifacts.Dataset)
+	}
+	// Publishing the same version again must be refused.
+	if err := run("gamma22", "quick", "", root, "v1", "", "", false); err == nil {
+		t.Error("duplicate version publish accepted")
+	}
+	// Registry mode publishes one dataset per version.
+	if err := run("all", "quick", "", root, "v2", "", "", false); err == nil {
+		t.Error("-registry with -dataset all accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("gamma22", "mega", t.TempDir(), false); err == nil {
+	if err := run("gamma22", "mega", t.TempDir(), "", "", "", "", false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run("nope", "quick", t.TempDir(), false); err == nil {
+	if err := run("nope", "quick", t.TempDir(), "", "", "", "", false); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }

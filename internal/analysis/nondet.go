@@ -32,6 +32,11 @@ var deterministicPkgs = map[string]bool{
 	"osap/internal/rl":          true,
 	"osap/internal/ocsvm":       true,
 	"osap/internal/experiments": true,
+	// Drift sketches must merge identically given identical operand
+	// order, and the registry must hash/list files in sorted order —
+	// both are cross-fleet comparison surfaces.
+	"osap/internal/sketch":   true,
+	"osap/internal/registry": true,
 }
 
 // seededConstructors are the math/rand functions that construct

@@ -1,0 +1,28 @@
+package chaos
+
+import (
+	"math"
+
+	"osap/internal/nn"
+)
+
+// PoisonNetworks overwrites every parameter of the given networks with
+// math.MaxFloat64 — the "bad training run" artifact fault. The value
+// is deliberately finite so the artifact still JSON-encodes and passes
+// checksum verification (it is not corrupt, just wrong): the fault
+// only surfaces at inference time, where the first dense product
+// overflows to ±Inf, the softmax yields NaN probabilities, and the
+// session demotes to the safe policy on its first step. Nil networks
+// are skipped so callers can pass optional members unconditionally.
+func PoisonNetworks(nets ...*nn.Network) {
+	for _, n := range nets {
+		if n == nil {
+			continue
+		}
+		for _, p := range n.Params() {
+			for i := range p.W {
+				p.W[i] = math.MaxFloat64
+			}
+		}
+	}
+}

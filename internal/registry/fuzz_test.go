@@ -1,0 +1,69 @@
+package registry_test
+
+import (
+	"bytes"
+	"testing"
+
+	"osap/internal/registry"
+)
+
+// FuzzManifest fuzzes manifest parsing: arbitrary bytes must either
+// be rejected or yield a manifest that validates and round-trips
+// through Encode/ParseManifest unchanged. Parsing must never panic —
+// manifests arrive from disk, and a corrupted registry must degrade
+// to an error, not a crash.
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"format":"osap-registry/v1","version":"v1","dataset":"synthetic",` +
+		`"files":{"synthetic.json":"` + string(bytes.Repeat([]byte("ab"), 32)) + `"}}`))
+	f.Add([]byte(`{"format":"osap-registry/v1","version":"v2","dataset":"fcc","parent":"v1",` +
+		`"created_at":"2026-08-08T00:00:00Z","notes":"n",` +
+		`"files":{"fcc.json":"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"}}`))
+	f.Add([]byte(`{"format":"osap-registry/v1","version":"../evil","dataset":"x","files":{"a":"b"}}`))
+	f.Add([]byte(`{"format":"osap-registry/v1","version":"v1","dataset":"x","files":{"../../etc/passwd":` +
+		`"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"}}`))
+	f.Add([]byte(`{"format":"osap-registry/v9","version":"v1","dataset":"x","files":{"a.json":"00"}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := registry.ParseManifest(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the invariants downstream
+		// code relies on.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parsed manifest fails Validate: %v", err)
+		}
+		if !registry.ValidVersion(m.Version) {
+			t.Fatalf("accepted invalid version %q", m.Version)
+		}
+		names := m.FileNames()
+		if len(names) == 0 {
+			t.Fatal("accepted manifest with no files")
+		}
+		for _, n := range names {
+			if bytes.ContainsAny([]byte(n), "/\\") || n == "" || n[0] == '.' {
+				t.Fatalf("accepted path-escaping file name %q", n)
+			}
+		}
+		// Round trip: Encode then re-parse must preserve the manifest.
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("Encode of valid manifest failed: %v", err)
+		}
+		m2, err := registry.ParseManifest(enc)
+		if err != nil {
+			t.Fatalf("re-parse of encoded manifest failed: %v", err)
+		}
+		if m2.Version != m.Version || m2.Dataset != m.Dataset || m2.Parent != m.Parent ||
+			m2.CreatedAt != m.CreatedAt || m2.Notes != m.Notes || len(m2.Files) != len(m.Files) {
+			t.Fatalf("round trip changed manifest: %+v vs %+v", m, m2)
+		}
+		for k, v := range m.Files {
+			if m2.Files[k] != v {
+				t.Fatalf("round trip changed file digest %s", k)
+			}
+		}
+	})
+}

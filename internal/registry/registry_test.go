@@ -1,0 +1,211 @@
+package registry_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"osap/internal/chaos"
+	"osap/internal/experiments"
+	"osap/internal/registry"
+	"osap/internal/serve"
+)
+
+func testArtifacts(t *testing.T) *experiments.Artifacts {
+	t.Helper()
+	arts, err := serve.SyntheticArtifacts("synthetic", 2, 7)
+	if err != nil {
+		t.Fatalf("synthetic artifacts: %v", err)
+	}
+	return arts
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	arts := testArtifacts(t)
+	m, err := registry.WriteVersion(root, registry.Meta{
+		Version:   "v1",
+		CreatedAt: "2026-08-08T00:00:00Z",
+		Notes:     "seed",
+	}, arts)
+	if err != nil {
+		t.Fatalf("WriteVersion: %v", err)
+	}
+	if m.Version != "v1" || m.Dataset != arts.Dataset || len(m.Files) != 1 {
+		t.Fatalf("unexpected manifest: %+v", m)
+	}
+
+	reg, err := registry.Open(root)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	vs, err := reg.Versions()
+	if err != nil || len(vs) != 1 || vs[0] != "v1" {
+		t.Fatalf("Versions = %v, %v; want [v1]", vs, err)
+	}
+	gen, err := reg.Load("v1", arts.Dataset)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if gen.Artifacts.Dataset != arts.Dataset {
+		t.Fatalf("loaded dataset %q, want %q", gen.Artifacts.Dataset, arts.Dataset)
+	}
+	if len(gen.Artifacts.Agents) != len(arts.Agents) {
+		t.Fatalf("loaded %d agents, want %d", len(gen.Artifacts.Agents), len(arts.Agents))
+	}
+	if gen.ArtifactSHA256 == "" || gen.ArtifactSHA256 != m.Files[arts.Dataset+".json"] {
+		t.Fatalf("generation checksum %q does not match manifest", gen.ArtifactSHA256)
+	}
+
+	// Lineage chains through Parent.
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v2", Parent: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion v2: %v", err)
+	}
+	m2, err := reg.Manifest("v2")
+	if err != nil || m2.Parent != "v1" {
+		t.Fatalf("v2 manifest parent = %q, %v; want v1", m2.Parent, err)
+	}
+}
+
+func TestWriteVersionRejects(t *testing.T) {
+	root := t.TempDir()
+	arts := testArtifacts(t)
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion: %v", err)
+	}
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v1"}, arts); err == nil {
+		t.Fatal("duplicate version accepted")
+	}
+	for _, bad := range []string{"", ".hidden", "a/b", "..", "v 1", "v\x00"} {
+		if _, err := registry.WriteVersion(root, registry.Meta{Version: bad}, arts); err == nil {
+			t.Errorf("version name %q accepted", bad)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	root := t.TempDir()
+	arts := testArtifacts(t)
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion: %v", err)
+	}
+	reg, err := registry.Open(root)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := reg.Verify("v1"); err != nil {
+		t.Fatalf("Verify clean: %v", err)
+	}
+	path := filepath.Join(root, "v1", arts.Dataset+".json")
+	if _, _, err := chaos.CorruptFile(path, 3); err != nil {
+		t.Fatalf("CorruptFile: %v", err)
+	}
+	if _, err := reg.Verify("v1"); err == nil {
+		t.Fatal("Verify accepted a corrupted artifact file")
+	}
+	if _, err := reg.Load("v1", arts.Dataset); err == nil {
+		t.Fatal("Load accepted a corrupted artifact file")
+	}
+}
+
+func TestManifestMismatches(t *testing.T) {
+	root := t.TempDir()
+	arts := testArtifacts(t)
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion: %v", err)
+	}
+	reg, err := registry.Open(root)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Wrong dataset is refused at Load.
+	if _, err := reg.Load("v1", "no-such-dataset"); err == nil {
+		t.Fatal("Load accepted wrong dataset")
+	}
+	// A version dir whose manifest claims another version is refused.
+	if err := os.Rename(filepath.Join(root, "v1"), filepath.Join(root, "v9")); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := reg.Manifest("v9"); err == nil {
+		t.Fatal("accepted manifest whose version differs from its directory")
+	}
+}
+
+func TestVersionsSkipsJunk(t *testing.T) {
+	root := t.TempDir()
+	arts := testArtifacts(t)
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion: %v", err)
+	}
+	// Staging temp dirs, plain files, and manifest-less dirs are all
+	// invisible.
+	if err := os.MkdirAll(filepath.Join(root, ".tmp-v2"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "half-published"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.Open(root)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	vs, err := reg.Versions()
+	if err != nil || len(vs) != 1 || vs[0] != "v1" {
+		t.Fatalf("Versions = %v, %v; want [v1]", vs, err)
+	}
+}
+
+func TestWatcherSeesNewVersions(t *testing.T) {
+	root := t.TempDir()
+	arts := testArtifacts(t)
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion: %v", err)
+	}
+	reg, err := registry.Open(root)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	type event struct{ added, all []string }
+	events := make(chan event, 4)
+	// Long poll interval: the test drives scans via Rescan only.
+	w, err := registry.NewWatcher(reg, time.Hour, func(added, all []string) {
+		events <- event{added, all}
+	})
+	if err != nil {
+		t.Fatalf("NewWatcher: %v", err)
+	}
+	defer w.Stop()
+
+	// Known versions at start never fire.
+	w.Rescan()
+	select {
+	case ev := <-events:
+		t.Fatalf("spurious event for pre-existing versions: %+v", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v2", Parent: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion v2: %v", err)
+	}
+	w.Rescan()
+	select {
+	case ev := <-events:
+		if len(ev.added) != 1 || ev.added[0] != "v2" || len(ev.all) != 2 {
+			t.Fatalf("event = %+v, want added [v2] of [v1 v2]", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher missed published version")
+	}
+
+	// The same version never fires twice.
+	w.Rescan()
+	select {
+	case ev := <-events:
+		t.Fatalf("duplicate event: %+v", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

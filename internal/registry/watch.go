@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"time"
+)
+
+// Watcher polls a registry root for newly published versions —
+// fsnotify-free so it works on every filesystem — and also rescans on
+// demand (cmd/osap-serve wires SIGHUP to Rescan). The onChange
+// callback runs on the watcher goroutine with the sorted list of new
+// versions and the full sorted version list; it is never called
+// concurrently with itself.
+type Watcher struct {
+	reg      *Registry
+	interval time.Duration
+	onChange func(added, all []string)
+	known    map[string]bool
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewWatcher primes the known-version set with the registry's current
+// contents (so onChange only fires for versions published after the
+// watcher starts) and begins polling every interval. interval <= 0
+// defaults to 5s.
+func NewWatcher(reg *Registry, interval time.Duration, onChange func(added, all []string)) (*Watcher, error) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	initial, err := reg.Versions()
+	if err != nil {
+		return nil, err
+	}
+	w := &Watcher{
+		reg:      reg,
+		interval: interval,
+		onChange: onChange,
+		known:    make(map[string]bool, len(initial)),
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, v := range initial {
+		w.known[v] = true
+	}
+	go w.loop()
+	return w, nil
+}
+
+// Rescan triggers an immediate poll (SIGHUP path). Non-blocking: a
+// rescan already pending satisfies the request.
+func (w *Watcher) Rescan() {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stop halts the poll loop and waits for it to exit. onChange is not
+// called after Stop returns.
+func (w *Watcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		case <-w.kick:
+		}
+		w.scan()
+	}
+}
+
+func (w *Watcher) scan() {
+	all, err := w.reg.Versions()
+	if err != nil {
+		return // transient FS error; next poll retries
+	}
+	var added []string
+	for _, v := range all {
+		if !w.known[v] {
+			w.known[v] = true
+			added = append(added, v)
+		}
+	}
+	if len(added) > 0 && w.onChange != nil {
+		w.onChange(added, all)
+	}
+}

@@ -375,7 +375,7 @@ func (s *Server) binWorker(bs *binSession, out chan binMsg, done chan struct{}) 
 			out <- binMsg{typ: proto.TypeError, cid: bs.cid, code: proto.CodeGone, str: "session closed"}
 			continue
 		}
-		s.recordStep(res)
+		s.recordStep(bs.sess, res)
 		s.opGate.RUnlock()
 
 		var m binMsg

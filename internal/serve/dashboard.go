@@ -1,0 +1,334 @@
+package serve
+
+// Fleet observability and rollout control endpoints:
+//
+//	GET  /dashboard      JSON: versions, canary state, drift quantiles
+//	POST /admin/rollout  {"action":"stage|promote|rollback", ...}
+//
+// plus the extended Prometheus families appended after the base
+// metrics: osap_build_info, per-version counters, rollout gauges and
+// drift-score quantiles.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"osap/internal/buildinfo"
+	"osap/internal/sketch"
+)
+
+// driftQuantiles is one merged sketch's summary for the dashboard.
+// Quantile fields are zero (not NaN, which JSON cannot carry) when the
+// sketch is empty.
+type driftQuantiles struct {
+	Count   uint64  `json:"count"`
+	Dropped uint64  `json:"dropped,omitempty"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+}
+
+func summarizeSketch(sk *sketch.Sketch) driftQuantiles {
+	q := driftQuantiles{Count: sk.Count(), Dropped: sk.Dropped()}
+	if q.Count == 0 {
+		return q
+	}
+	q.Min, q.Max = sk.Min(), sk.Max()
+	q.P50 = sk.Quantile(0.50)
+	q.P90 = sk.Quantile(0.90)
+	q.P99 = sk.Quantile(0.99)
+	return q
+}
+
+// dashboardVersion is one generation's row in the dashboard document.
+type dashboardVersion struct {
+	Version      string                    `json:"version"`
+	Checksum     string                    `json:"checksum,omitempty"`
+	Role         string                    `json:"role"` // active | candidate | retired
+	Sessions     uint64                    `json:"sessions_total"`
+	SessionsLive int64                     `json:"sessions_live"`
+	Decisions    uint64                    `json:"decisions_total"`
+	Fallbacks    uint64                    `json:"fallbacks_total"`
+	Demotions    uint64                    `json:"demotions_total"`
+	Degraded     uint64                    `json:"degraded_steps_total"`
+	FallbackRate float64                   `json:"fallback_rate"`
+	DemotionRate float64                   `json:"demotion_rate"`
+	LatencyP50Us float64                   `json:"latency_p50_us"`
+	LatencyP99Us float64                   `json:"latency_p99_us"`
+	Drift        map[string]driftQuantiles `json:"drift"`
+}
+
+func (s *Server) versionRow(g *Generation, role string) dashboardVersion {
+	st := g.stats
+	row := dashboardVersion{
+		Version:      g.version,
+		Checksum:     g.checksum,
+		Role:         role,
+		Sessions:     st.Sessions.Load(),
+		SessionsLive: st.Live.Load(),
+		Decisions:    st.Decisions.Load(),
+		Fallbacks:    st.Fallbacks.Load(),
+		Demotions:    st.Demotions.Load(),
+		Degraded:     st.Degraded.Load(),
+		LatencyP50Us: st.Latency.Quantile(0.50) * 1e6,
+		LatencyP99Us: st.Latency.Quantile(0.99) * 1e6,
+		Drift:        make(map[string]driftQuantiles, driftSignals),
+	}
+	if row.Decisions > 0 {
+		row.FallbackRate = float64(row.Fallbacks) / float64(row.Decisions)
+	}
+	if row.Sessions > 0 {
+		row.DemotionRate = float64(row.Demotions) / float64(row.Sessions)
+	}
+	for sig := 0; sig < driftSignals; sig++ {
+		row.Drift[driftSignalNames[sig]] = summarizeSketch(g.drift.Merged(sig))
+	}
+	return row
+}
+
+// roleOf labels a generation relative to the current rollout state.
+func (s *Server) roleOf(g *Generation) string {
+	switch g {
+	case s.rollout.Active():
+		return "active"
+	case s.rollout.Candidate():
+		return "candidate"
+	default:
+		return "retired"
+	}
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	// A controller pass first: a quiescent fleet (no steps arriving)
+	// still promotes or rolls back when someone looks.
+	s.rollout.evaluate(s.cfg.Now())
+
+	gens := s.rollout.generations()
+	rows := make([]dashboardVersion, 0, len(gens))
+	for _, g := range gens {
+		rows = append(rows, s.versionRow(g, s.roleOf(g)))
+	}
+	doc := map[string]any{
+		"build_version": buildinfo.Version,
+		"dataset":       s.factory.Dataset(),
+		"draining":      s.draining.Load(),
+		"live_sessions": s.table.Len(),
+		"versions":      rows,
+		"rollout": map[string]any{
+			"active":          s.rollout.Active().Version(),
+			"candidate":       candidateVersion(s.rollout),
+			"canary_fraction": s.rollout.CanaryFraction(),
+			"promotions":      s.rollout.promotions.Load(),
+			"rollbacks":       s.rollout.rollbacks.Load(),
+			"events":          s.rollout.Events(),
+		},
+	}
+	if s.cfg.ListVersions != nil {
+		doc["registry_versions"] = s.cfg.ListVersions()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func candidateVersion(r *Rollout) string {
+	if cand := r.Candidate(); cand != nil {
+		return cand.Version()
+	}
+	return ""
+}
+
+// rolloutRequest is the POST /admin/rollout body.
+type rolloutRequest struct {
+	Action   string  `json:"action"` // stage | promote | rollback
+	Version  string  `json:"version,omitempty"`
+	Fraction float64 `json:"fraction,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+func (s *Server) handleRollout(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.DrainRejected.Add(1)
+		s.rejectBusy(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req rolloutRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	now := s.cfg.Now()
+	switch req.Action {
+	case "stage":
+		if req.Version == "" {
+			s.writeError(w, http.StatusBadRequest, "stage requires a version")
+			return
+		}
+		gen, err := s.stageVersion(req.Version, req.Fraction)
+		if err != nil {
+			code := http.StatusConflict
+			if s.cfg.LoadVersion == nil {
+				code = http.StatusNotImplemented
+			}
+			s.writeError(w, code, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"staged":          gen.Version(),
+			"checksum":        gen.Checksum(),
+			"active":          s.rollout.Active().Version(),
+			"canary_fraction": s.rollout.CanaryFraction(),
+		})
+	case "promote":
+		gen, err := s.rollout.Promote(orDefault(req.Reason, "manual promote"), false, now)
+		if err != nil {
+			s.writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"promoted": gen.Version(), "active": gen.Version()})
+	case "rollback":
+		gen, err := s.rollout.Rollback(orDefault(req.Reason, "manual rollback"), false, now)
+		if err != nil {
+			s.writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"rolled_back": gen.Version(),
+			"active":      s.rollout.Active().Version(),
+		})
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown action %q (want stage, promote or rollback)", req.Action)
+	}
+}
+
+func orDefault(s, def string) string {
+	if s != "" {
+		return s
+	}
+	return def
+}
+
+// stageVersion loads, validates and stages a named artifact version as
+// the canary candidate. Requires Config.LoadVersion (the registry
+// binding); without it the server is a fixed-artifact deployment and
+// staging is unsupported.
+func (s *Server) stageVersion(version string, fraction float64) (*Generation, error) {
+	if s.cfg.LoadVersion == nil {
+		return nil, fmt.Errorf("serve: no artifact registry configured; staging unavailable")
+	}
+	// A version staged before (then promoted away from or rolled back)
+	// is reused with its stats and batcher intact.
+	if existing := s.rollout.lookup(version); existing != nil {
+		return s.rollout.Stage(existing, fraction, s.cfg.Now())
+	}
+	arts, checksum, err := s.cfg.LoadVersion(version)
+	if err != nil {
+		return nil, err
+	}
+	f, err := NewGuardFactory(arts, s.factory.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Sessions bind a version at admission but clients negotiate
+	// obs/action dims once, so every generation must agree on the
+	// interface contract.
+	if f.ObsDim() != s.factory.ObsDim() || f.NumActions() != s.factory.NumActions() {
+		return nil, fmt.Errorf("serve: version %s has obs_dim=%d num_actions=%d, incompatible with serving contract obs_dim=%d num_actions=%d",
+			version, f.ObsDim(), f.NumActions(), s.factory.ObsDim(), s.factory.NumActions())
+	}
+	if f.Dataset() != s.factory.Dataset() {
+		return nil, fmt.Errorf("serve: version %s serves dataset %q, server is bound to %q",
+			version, f.Dataset(), s.factory.Dataset())
+	}
+	gen := newGeneration(version, checksum, f, nil)
+	if !s.cfg.Batch.Disable {
+		b, err := newBatcher(f, s.metrics, s.cfg.Batch)
+		if err != nil {
+			return nil, err
+		}
+		gen.batcher = b
+	}
+	staged, err := s.rollout.Stage(gen, fraction, s.cfg.Now())
+	if err != nil || staged != gen {
+		// Either the stage was refused or a concurrent stage of the same
+		// version won with a cached generation; this one never served.
+		if gen.batcher != nil {
+			gen.batcher.Stop()
+		}
+	}
+	return staged, err
+}
+
+// writeExtendedProm appends the rollout/version/drift families after
+// the base metrics.
+func (s *Server) writeExtendedProm(w io.Writer) {
+	act := s.rollout.Active()
+	fmt.Fprintf(w, "# HELP osap_build_info Build and active artifact identity (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE osap_build_info gauge\n")
+	fmt.Fprintf(w, "osap_build_info{version=%q,artifact_version=%q,artifact_sha256=%q} 1\n",
+		buildinfo.Version, act.Version(), act.Checksum())
+
+	fmt.Fprintf(w, "# HELP osap_rollout_canary_fraction Fraction of new sessions routed to the candidate.\n")
+	fmt.Fprintf(w, "# TYPE osap_rollout_canary_fraction gauge\nosap_rollout_canary_fraction %s\n",
+		promFloat(s.rollout.CanaryFraction()))
+	fmt.Fprintf(w, "# HELP osap_rollout_promotions_total Candidate promotions (manual and automatic).\n")
+	fmt.Fprintf(w, "# TYPE osap_rollout_promotions_total counter\nosap_rollout_promotions_total %d\n",
+		s.rollout.promotions.Load())
+	fmt.Fprintf(w, "# HELP osap_rollout_rollbacks_total Candidate rollbacks (manual and automatic).\n")
+	fmt.Fprintf(w, "# TYPE osap_rollout_rollbacks_total counter\nosap_rollout_rollbacks_total %d\n",
+		s.rollout.rollbacks.Load())
+
+	gens := s.rollout.generations()
+	fmt.Fprintf(w, "# HELP osap_version_info Loaded artifact versions and their rollout role.\n")
+	fmt.Fprintf(w, "# TYPE osap_version_info gauge\n")
+	for _, g := range gens {
+		fmt.Fprintf(w, "osap_version_info{version=%q,sha256=%q,role=%q} 1\n",
+			g.Version(), g.Checksum(), s.roleOf(g))
+	}
+	family := func(name, help, typ string, val func(*Generation) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, g := range gens {
+			fmt.Fprintf(w, "%s{version=%q} %d\n", name, g.Version(), val(g))
+		}
+	}
+	family("osap_version_sessions_total", "Sessions admitted per artifact version.", "counter",
+		func(g *Generation) uint64 { return g.stats.Sessions.Load() })
+	family("osap_version_sessions_live", "Live sessions pinned per artifact version.", "gauge",
+		func(g *Generation) uint64 { return uint64(max64(g.stats.Live.Load(), 0)) })
+	family("osap_version_decisions_total", "Decisions served per artifact version.", "counter",
+		func(g *Generation) uint64 { return g.stats.Decisions.Load() })
+	family("osap_version_fallbacks_total", "Default-policy decisions per artifact version.", "counter",
+		func(g *Generation) uint64 { return g.stats.Fallbacks.Load() })
+	family("osap_version_demotions_total", "Sessions demoted per artifact version.", "counter",
+		func(g *Generation) uint64 { return g.stats.Demotions.Load() })
+	family("osap_version_degraded_steps_total", "Degraded-mode steps per artifact version.", "counter",
+		func(g *Generation) uint64 { return g.stats.Degraded.Load() })
+
+	fmt.Fprintf(w, "# HELP osap_drift_score Guard-score quantiles per version and signal (merged t-digest).\n")
+	fmt.Fprintf(w, "# TYPE osap_drift_score gauge\n")
+	fmt.Fprintf(w, "# HELP osap_drift_observations_total Guard scores folded into the drift sketches.\n")
+	fmt.Fprintf(w, "# TYPE osap_drift_observations_total counter\n")
+	for _, g := range gens {
+		for sig := 0; sig < driftSignals; sig++ {
+			sk := g.drift.Merged(sig)
+			fmt.Fprintf(w, "osap_drift_observations_total{version=%q,signal=%q} %d\n",
+				g.Version(), driftSignalNames[sig], sk.Count())
+			if sk.Count() == 0 {
+				continue
+			}
+			for _, q := range [...]float64{0.5, 0.9, 0.99} {
+				fmt.Fprintf(w, "osap_drift_score{version=%q,signal=%q,quantile=%q} %s\n",
+					g.Version(), driftSignalNames[sig], promFloat(q), promFloat(sk.Quantile(q)))
+			}
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

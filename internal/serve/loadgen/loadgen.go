@@ -71,6 +71,12 @@ type Config struct {
 	// before abandoning its session without deleting it (0 = run the
 	// full budget) — the viewer who closes the tab.
 	AbortStep func(i int) int
+	// ScoreSink, when non-nil, receives each client's uncertainty
+	// scores (successful, non-demoted HTTP steps only) once, keyed by
+	// the artifact version the session bound at admission. Calls are
+	// serialized; the slice is owned by the callee. Used by the rollout
+	// selftest to build a sequential drift reference per version.
+	ScoreSink func(version string, scores []float64)
 }
 
 // Backoff shapes the retry schedule for rejected requests: attempt n
@@ -108,8 +114,12 @@ type Result struct {
 	// is permanent by contract, so this must be 0.
 	DemotionViolations int64
 	Elapsed            time.Duration
-	latencies          []time.Duration
-	connSetups         []time.Duration
+	// VersionCounts tallies sessions by the artifact version reported at
+	// creation (HTTP protocol only; the binary Opened frame carries no
+	// version, so binary runs leave this empty).
+	VersionCounts map[string]int64
+	latencies     []time.Duration
+	connSetups    []time.Duration
 }
 
 // Throughput returns served steps per second over the run.
@@ -169,6 +179,8 @@ type client struct {
 	demotedSteps int64
 	violations   int64
 	demoted      bool
+	version      string
+	scores       []float64
 	latencies    []time.Duration
 }
 
@@ -176,12 +188,14 @@ type createResponse struct {
 	ID         string `json:"id"`
 	ObsDim     int    `json:"obs_dim"`
 	NumActions int    `json:"num_actions"`
+	Version    string `json:"version"`
 }
 
 type stepResponse struct {
-	Action   int  `json:"action"`
-	Fallback bool `json:"fallback"`
-	Demoted  bool `json:"demoted"`
+	Action   int     `json:"action"`
+	Fallback bool    `json:"fallback"`
+	Demoted  bool    `json:"demoted"`
+	Score    float64 `json:"score"`
 }
 
 // isDrainSignal classifies request failures that a graceful shutdown
@@ -307,6 +321,7 @@ func (c *client) createHTTP(ctx context.Context) (int, error) {
 		return resp.StatusCode, err
 	}
 	c.sessionID = cr.ID
+	c.version = cr.Version
 	return resp.StatusCode, nil
 }
 
@@ -351,6 +366,8 @@ func (c *client) stepHTTP(ctx context.Context) (ok bool) {
 	if sr.Demoted {
 		c.demoted = true
 		c.demotedSteps++
+	} else if c.cfg.ScoreSink != nil {
+		c.scores = append(c.scores, sr.Score)
 	}
 	next, _, done := c.env.Step(sr.Action)
 	if done {
@@ -495,6 +512,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			res.DemotionViolations += c.violations
 			if c.demoted {
 				res.SessionsDemoted++
+			}
+			if c.version != "" {
+				if res.VersionCounts == nil {
+					res.VersionCounts = make(map[string]int64)
+				}
+				res.VersionCounts[c.version]++
+			}
+			if cfg.ScoreSink != nil && len(c.scores) > 0 {
+				cfg.ScoreSink(c.version, c.scores)
 			}
 			res.latencies = append(res.latencies, c.latencies...)
 			res.connSetups = append(res.connSetups, c.connSetup)

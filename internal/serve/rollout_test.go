@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"osap/internal/experiments"
+)
+
+// testRolloutServer boots a server from synthetic v1 artifacts with a
+// LoadVersion hook that serves a healthy differently-seeded build for
+// any requested version (poisoned-candidate behavior is exercised by
+// the cmd/osap-serve rollout selftest, which owns chaos tooling).
+func testRolloutServer(t *testing.T, cfg Config) (*Server, *experiments.Artifacts) {
+	t.Helper()
+	arts, err := SyntheticArtifacts("synthetic", 3, 11)
+	if err != nil {
+		t.Fatalf("synthetic artifacts: %v", err)
+	}
+	f, err := NewGuardFactory(arts, GuardConfig{})
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	cfg.Version = "v1"
+	if cfg.LoadVersion == nil {
+		cfg.LoadVersion = func(version string) (*experiments.Artifacts, string, error) {
+			a2, err := SyntheticArtifacts("synthetic", 3, 12)
+			if err != nil {
+				return nil, "", err
+			}
+			return a2, "feedc0de", nil
+		}
+	}
+	srv, err := NewServer(f, cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() {
+		if !srv.Draining() {
+			srv.Drain(context.Background(), io.Discard) //nolint:errcheck
+		}
+	})
+	return srv, arts
+}
+
+func TestRolloutPickFraction(t *testing.T) {
+	base := newGeneration("v1", "", nil, nil)
+	cand := newGeneration("v2", "", nil, nil)
+	r := newRollout(base, RolloutConfig{})
+	if _, err := r.Stage(cand, 0.10, time.Unix(0, 0)); err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	const n = 200_000
+	hits := 0
+	for i := uint64(0); i < n; i++ {
+		if r.pick(i) == cand {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("canary fraction %.4f, want ≈0.10", frac)
+	}
+	// Deterministic: the same index always routes the same way.
+	for i := uint64(0); i < 1000; i++ {
+		if r.pick(i) != r.pick(i) {
+			t.Fatal("pick not deterministic")
+		}
+	}
+	// After rollback everything routes to the incumbent.
+	if _, err := r.Rollback("test", false, time.Unix(0, 0)); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	for i := uint64(0); i < 10_000; i++ {
+		if r.pick(i) != base {
+			t.Fatal("post-rollback pick routed to withdrawn candidate")
+		}
+	}
+}
+
+func TestRolloutStageConflicts(t *testing.T) {
+	base := newGeneration("v1", "", nil, nil)
+	r := newRollout(base, RolloutConfig{})
+	now := time.Unix(0, 0)
+	if _, err := r.Stage(newGeneration("v1", "", nil, nil), 0.1, now); err == nil {
+		t.Fatal("staged the active version")
+	}
+	if _, err := r.Stage(newGeneration("v2", "", nil, nil), 0.1, now); err != nil {
+		t.Fatalf("Stage v2: %v", err)
+	}
+	if _, err := r.Stage(newGeneration("v3", "", nil, nil), 0.1, now); err == nil {
+		t.Fatal("staged a second candidate")
+	}
+	if _, err := r.Promote("ok", false, now); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if r.Active().Version() != "v2" || r.Candidate() != nil {
+		t.Fatalf("post-promote state: active=%s candidate=%v", r.Active().Version(), r.Candidate())
+	}
+	// Re-staging the retired v1 reuses its generation.
+	v1b := newGeneration("v1", "", nil, nil)
+	staged, err := r.Stage(v1b, 0.2, now)
+	if err != nil {
+		t.Fatalf("re-stage v1: %v", err)
+	}
+	if staged == v1b || staged != base {
+		t.Fatal("re-stage did not reuse the original generation")
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("event log has %d entries, want 3", len(r.Events()))
+	}
+}
+
+func TestRolloutAutoRollbackOnDemotions(t *testing.T) {
+	base := newGeneration("v1", "", nil, nil)
+	cand := newGeneration("v2", "", nil, nil)
+	r := newRollout(base, RolloutConfig{MinSamples: 10, MinSessions: 2, RollbackMargin: 0.05})
+	now := time.Unix(0, 0)
+	if _, err := r.Stage(cand, 0.5, now); err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	// Incumbent healthy baseline.
+	base.stats.Sessions.Store(100)
+	base.stats.Decisions.Store(1000)
+	// Candidate below thresholds: nothing happens.
+	cand.stats.Sessions.Store(1)
+	cand.stats.Decisions.Store(5)
+	cand.stats.Demotions.Store(1)
+	r.evaluate(now)
+	if r.Candidate() != cand {
+		t.Fatal("controller acted below min samples")
+	}
+	// Past thresholds with every session demoting: rollback.
+	cand.stats.Sessions.Store(10)
+	cand.stats.Decisions.Store(100)
+	cand.stats.Demotions.Store(10)
+	r.evaluate(now)
+	if r.Candidate() != nil {
+		t.Fatal("auto-rollback did not fire")
+	}
+	if r.rollbacks.Load() != 1 {
+		t.Fatalf("rollbacks = %d, want 1", r.rollbacks.Load())
+	}
+	ev := r.Events()
+	last := ev[len(ev)-1]
+	if last.Action != "rolled_back" || !last.Auto {
+		t.Fatalf("last event %+v, want auto rolled_back", last)
+	}
+}
+
+func TestRolloutAutoPromote(t *testing.T) {
+	base := newGeneration("v1", "", nil, nil)
+	cand := newGeneration("v2", "", nil, nil)
+	r := newRollout(base, RolloutConfig{MinSamples: 10, MinSessions: 2, PromoteAfter: 50})
+	now := time.Unix(0, 0)
+	if _, err := r.Stage(cand, 0.5, now); err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	base.stats.Sessions.Store(100)
+	base.stats.Decisions.Store(1000)
+	cand.stats.Sessions.Store(5)
+	cand.stats.Decisions.Store(60)
+	r.evaluate(now)
+	if r.Active() != cand || r.Candidate() != nil {
+		t.Fatal("auto-promote did not fire")
+	}
+	if r.promotions.Load() != 1 {
+		t.Fatalf("promotions = %d, want 1", r.promotions.Load())
+	}
+}
+
+func TestDriftSetMergeDeterministic(t *testing.T) {
+	d := newDriftSet()
+	for i := 0; i < 10_000; i++ {
+		d.Observe(uint32(i), uint8(i%driftSignals), float64(i%97)/97)
+	}
+	a, b := d.Merged(0), d.Merged(0)
+	if a.Count() != b.Count() {
+		t.Fatalf("merge counts differ: %d vs %d", a.Count(), b.Count())
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if math.Float64bits(a.Quantile(q)) != math.Float64bits(b.Quantile(q)) {
+			t.Fatalf("Quantile(%g) differs between identical merges", q)
+		}
+	}
+	// Non-finite scores are dropped, never folded.
+	d.Observe(1, 0, math.NaN())
+	d.Observe(2, 0, math.Inf(1))
+	m := d.Merged(0)
+	if m.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", m.Dropped())
+	}
+}
+
+func TestServerStagePromoteHTTP(t *testing.T) {
+	srv, _ := testRolloutServer(t, Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Sessions created pre-stage bind v1.
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{"scheme":"ND"}`))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var cr createResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if cr.Version != "v1" {
+		t.Fatalf("pre-stage session version %q, want v1", cr.Version)
+	}
+
+	// Stage v2 at 100% so the next session must bind it.
+	resp, err = http.Post(ts.URL+"/admin/rollout", "application/json",
+		strings.NewReader(`{"action":"stage","version":"v2","fraction":1.0}`))
+	if err != nil {
+		t.Fatalf("stage: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stage status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{"scheme":"ND"}`))
+	if err != nil {
+		t.Fatalf("create 2: %v", err)
+	}
+	var cr2 createResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr2); err != nil {
+		t.Fatalf("decode 2: %v", err)
+	}
+	resp.Body.Close()
+	if cr2.Version != "v2" {
+		t.Fatalf("canary session version %q, want v2", cr2.Version)
+	}
+
+	// Dashboard sees both versions and the canary state.
+	resp, err = http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatalf("dashboard: %v", err)
+	}
+	var dash struct {
+		Versions []struct {
+			Version string `json:"version"`
+			Role    string `json:"role"`
+		} `json:"versions"`
+		Rollout struct {
+			Active    string `json:"active"`
+			Candidate string `json:"candidate"`
+		} `json:"rollout"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dash); err != nil {
+		t.Fatalf("decode dashboard: %v", err)
+	}
+	resp.Body.Close()
+	if dash.Rollout.Active != "v1" || dash.Rollout.Candidate != "v2" || len(dash.Versions) != 2 {
+		t.Fatalf("dashboard state: %+v", dash)
+	}
+
+	// Manual promote flips the active pointer.
+	resp, err = http.Post(ts.URL+"/admin/rollout", "application/json",
+		strings.NewReader(`{"action":"promote"}`))
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := srv.Rollout().Active().Version(); got != "v2" {
+		t.Fatalf("active after promote %q, want v2", got)
+	}
+
+	// Metrics expose build info and per-version families.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`osap_build_info{version=`,
+		`artifact_version="v2"`,
+		`osap_version_sessions_total{version="v1"} 1`,
+		`osap_version_sessions_total{version="v2"} 1`,
+		`osap_rollout_promotions_total 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestStageWithoutRegistry(t *testing.T) {
+	arts, err := SyntheticArtifacts("synthetic", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewGuardFactory(arts, GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/admin/rollout", "application/json",
+		strings.NewReader(`{"action":"stage","version":"v2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("stage without registry: status %d, want 501", resp.StatusCode)
+	}
+}

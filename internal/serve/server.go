@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"osap/internal/core"
+	"osap/internal/experiments"
 )
 
 // Config sizes a Server.
@@ -49,6 +50,24 @@ type Config struct {
 	// the binary twin of the chaos HTTP middleware. Nil in production
 	// wiring; costs one pointer check per frame.
 	FrameFault func() (reject bool, delay time.Duration)
+	// Version labels the artifact set the server booted with; it
+	// becomes the base generation's version on /metrics and /dashboard
+	// ("" → "unversioned").
+	Version string
+	// Checksum is the boot artifact set's envelope SHA-256 (optional;
+	// exported as the osap_build_info artifact_sha256 label).
+	Checksum string
+	// Rollout tunes the canary controller; the zero value selects the
+	// documented defaults.
+	Rollout RolloutConfig
+	// LoadVersion, if set, loads a named artifact version for staging
+	// (the registry binding: typically registry.Registry.Load wrapped
+	// by cmd/osap-serve). Nil disables POST /admin/rollout staging —
+	// the fixed-artifact deployment mode.
+	LoadVersion func(version string) (arts *experiments.Artifacts, checksum string, err error)
+	// ListVersions, if set, lists stageable registry versions for the
+	// dashboard (best-effort; nil omits the field).
+	ListVersions func() []string
 }
 
 func (c Config) withDefaults() Config {
@@ -89,11 +108,11 @@ func (c Config) withDefaults() Config {
 //	GET    /metrics                Prometheus text format
 type Server struct {
 	cfg     Config
-	factory *GuardFactory
+	factory *GuardFactory // the boot generation's factory (interface contract)
 	table   *Table
 	metrics *Metrics
 	mux     *http.ServeMux
-	batcher *Batcher // nil when Config.Batch.Disable
+	rollout *Rollout // versioned generations + canary router
 
 	draining atomic.Bool
 	// opGate tracks in-flight mutating handlers (create/step/reset) as
@@ -138,16 +157,25 @@ func NewServer(f *GuardFactory, cfg Config) (*Server, error) {
 		sweepDone: make(chan struct{}),
 		idSalt:    rand.Uint64() | 1,
 	}
+	version := cfg.Version
+	if version == "" {
+		version = "unversioned"
+	}
+	base := newGeneration(version, cfg.Checksum, f, nil)
 	if !cfg.Batch.Disable {
 		b, err := newBatcher(f, s.metrics, cfg.Batch)
 		if err != nil {
 			return nil, err
 		}
-		s.batcher = b
+		base.batcher = b
 	}
+	s.rollout = newRollout(base, cfg.Rollout)
 	s.table.SetOnClose(func(sess *Session) {
 		if sess.Demoted() {
 			s.demotedLive.Add(-1)
+		}
+		if sess.gen != nil {
+			sess.gen.stats.Live.Add(-1)
 		}
 	})
 	s.mux.HandleFunc("POST /v1/sessions", s.timed("create", s.handleCreate))
@@ -157,8 +185,13 @@ func NewServer(f *GuardFactory, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.timed("delete", s.handleDelete))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	s.mux.HandleFunc("POST /admin/rollout", s.timed("rollout", s.handleRollout))
 	return s, nil
 }
+
+// Rollout exposes the canary controller (tests and cmd wiring).
+func (s *Server) Rollout() *Rollout { return s.rollout }
 
 // Metrics exposes the server's metrics registry (for tests and the
 // final drain snapshot).
@@ -247,11 +280,15 @@ func (s *Server) Drain(ctx context.Context, w io.Writer) error {
 		err = fmt.Errorf("serve: drain: %w", ctx.Err())
 	}
 
-	// Stop the collectors after the in-flight steps have completed;
-	// Stop flushes anything still parked, so even a deadline-expired
-	// drain leaves no step waiting forever.
-	if s.batcher != nil {
-		s.batcher.Stop()
+	// Stop every generation's collectors after the in-flight steps have
+	// completed; Stop flushes anything still parked, so even a
+	// deadline-expired drain leaves no step waiting forever. Retired
+	// generations' batchers stay alive until this point because sessions
+	// pinned to them may step right up to the barrier.
+	for _, g := range s.rollout.generations() {
+		if g.batcher != nil {
+			g.batcher.Stop()
+		}
 	}
 
 	// Force-close binary connections: every pre-drain step has been
@@ -266,6 +303,7 @@ func (s *Server) Drain(ctx context.Context, w io.Writer) error {
 		if werr := s.metrics.WriteProm(w, s.table.Len(), int(s.DemotedLive())); err == nil {
 			err = werr
 		}
+		s.writeExtendedProm(w)
 	}
 	return err
 }
@@ -282,6 +320,9 @@ type createResponse struct {
 	Dataset    string `json:"dataset"`
 	ObsDim     int    `json:"obs_dim"`
 	NumActions int    `json:"num_actions"`
+	// Version is the artifact version this session bound at admission
+	// (pinned for the session's lifetime).
+	Version string `json:"version"`
 }
 
 type stepRequest struct {
@@ -351,53 +392,72 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Dataset:    s.factory.Dataset(),
 		ObsDim:     s.factory.ObsDim(),
 		NumActions: s.factory.NumActions(),
+		Version:    sess.gen.Version(),
 	})
 }
 
 // createSession builds, wraps, classifies and publishes one session —
-// the shared core of the HTTP and binary create paths. A returned
+// the shared core of the HTTP and binary create paths. The session
+// binds an artifact generation here, at admission, and keeps it for
+// life: the canary router only ever shifts NEW sessions. A returned
 // ErrTableFull means admission control refused the session; any other
 // error is a bad scheme.
 func (s *Server) createSession(scheme string) (*Session, error) {
-	guard, err := s.factory.NewGuard(scheme)
+	idx := s.idCtr.Add(1)
+	gen := s.rollout.pick(idx - 1)
+	guard, err := gen.factory.NewGuard(scheme)
 	if err != nil {
 		return nil, err
 	}
 	now := s.cfg.Now()
-	idx := s.idCtr.Add(1)
 	id := fmt.Sprintf("%x-%x", s.idSalt, idx)
 	if s.cfg.WrapGuard != nil {
 		s.cfg.WrapGuard(idx-1, guard)
 	}
 	sess := newSession(id, scheme, guard, now)
 	sess.class = classifyGuard(guard)
-	if s.batcher != nil {
-		sess.shard = s.batcher.assignShard()
+	sess.gen = gen
+	sess.sigIdx = driftSignalIndex(scheme)
+	sess.driftShard = uint32(idx)
+	if gen.batcher != nil {
+		sess.shard = gen.batcher.assignShard()
 	}
 	if err := s.table.Put(sess); err != nil {
 		return nil, err
 	}
 	s.metrics.SessionsCreated.Add(1)
+	gen.stats.Sessions.Add(1)
+	gen.stats.Live.Add(1)
 	return sess, nil
 }
 
-// stepSession routes one validated step: through the session's
-// collector shard when batching is on and the session is batchable,
-// directly otherwise.
+// stepSession routes one validated step: through the session
+// generation's collector shard when batching is on and the session is
+// batchable, directly otherwise. The step latency lands in the
+// generation's histogram so canary and incumbent are comparable.
 //
 //osap:hotpath
 func (s *Server) stepSession(sess *Session, obs []float64) (StepResult, error) {
-	if s.batcher != nil && sess.class != classSeq {
-		return s.batcher.do(sess, obs, s.cfg.Now())
+	start := time.Now()
+	var res StepResult
+	var err error
+	if b := sess.gen.batcher; b != nil && sess.class != classSeq {
+		res, err = b.do(sess, obs, s.cfg.Now())
+	} else {
+		res, err = sess.Step(obs, s.cfg.Now())
 	}
-	return sess.Step(obs, s.cfg.Now())
+	if err == nil {
+		sess.gen.stats.Latency.Observe(time.Since(start).Seconds())
+	}
+	return res, err
 }
 
-// recordStep folds one step outcome into the counters — shared by the
-// HTTP and binary step paths.
+// recordStep folds one step outcome into the global and per-version
+// counters, feeds the drift sketches, and gives the canary controller
+// a periodic pass — shared by the HTTP and binary step paths.
 //
 //osap:hotpath
-func (s *Server) recordStep(res StepResult) {
+func (s *Server) recordStep(sess *Session, res StepResult) {
 	s.metrics.Decisions.Add(1)
 	if res.Decision.UsedDefault {
 		s.metrics.Fallbacks.Add(1)
@@ -416,6 +476,25 @@ func (s *Server) recordStep(res StepResult) {
 	}
 	if res.Demoted {
 		s.metrics.DegradedSteps.Add(1)
+	}
+	gen := sess.gen
+	st := gen.stats
+	d := st.Decisions.Add(1)
+	if res.Decision.UsedDefault {
+		st.Fallbacks.Add(1)
+	}
+	if res.FirstDemotion {
+		st.Demotions.Add(1)
+	}
+	if res.Demoted {
+		// Degraded steps carry a synthetic zero score; keep them out of
+		// the drift sketches, which track the live guard signal.
+		st.Degraded.Add(1)
+	} else {
+		gen.drift.Observe(sess.driftShard, sess.sigIdx, res.Decision.Score)
+	}
+	if d&63 == 0 && s.rollout.candidate.Load() == gen {
+		s.rollout.evaluate(s.cfg.Now())
 	}
 }
 
@@ -446,7 +525,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusGone, "%v", err)
 		return
 	}
-	s.recordStep(res)
+	s.recordStep(sess, res)
 	writeJSON(w, http.StatusOK, stepResponse{
 		Action:   res.Action,
 		Score:    res.Decision.Score,
@@ -512,10 +591,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"shards":          s.table.Shards(),
 		"demoted_live":    demoted,
 		"demotions_total": s.metrics.SessionsDemoted.Load(),
+		"active_version":  s.rollout.Active().Version(),
+		"candidate":       candidateVersion(s.rollout),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteProm(w, s.table.Len(), int(s.DemotedLive())) //nolint:errcheck // client went away
+	s.writeExtendedProm(w)
 }

@@ -50,6 +50,14 @@ type Session struct {
 	// compute for it (see classifyGuard).
 	shard int
 	class batchClass
+
+	// Generation binding, also written once pre-publication: the
+	// artifact version this session pinned at admission (nil only for
+	// sessions built outside a Server, e.g. table tests), plus its
+	// drift-sketch routing.
+	gen        *Generation
+	driftShard uint32
+	sigIdx     uint8
 }
 
 // newSession wraps a guard. The caller owns ID uniqueness.
@@ -293,6 +301,7 @@ func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastUsed.Load())
 type Info struct {
 	ID           string `json:"id"`
 	Scheme       string `json:"scheme"`
+	Version      string `json:"version,omitempty"`
 	Steps        uint64 `json:"steps"`
 	Fired        bool   `json:"fired"`
 	IdleMsec     int64  `json:"idle_ms"`
@@ -308,9 +317,14 @@ func (s *Session) Snapshot(now time.Time) Info {
 	if idle < 0 {
 		idle = 0
 	}
+	version := ""
+	if s.gen != nil {
+		version = s.gen.Version()
+	}
 	return Info{
 		ID:           s.id,
 		Scheme:       s.scheme,
+		Version:      version,
 		Steps:        s.steps,
 		Fired:        s.fired,
 		IdleMsec:     idle.Milliseconds(),
