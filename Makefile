@@ -24,10 +24,14 @@ verify: build test
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analyzers: zero-alloc hot paths, 32-bit
-# atomic alignment, lock-copy hygiene, determinism (DESIGN.md §8).
-# Fixture packages under testdata/ are excluded by ./... expansion.
+# Static analysis gate: the stock go vet suite plus the seven
+# project-specific analyzers — zero-alloc hot paths and their
+# call-graph closure, 32-bit atomic alignment, atomic mixed access,
+# lock-copy hygiene, //osap:guardedby lock discipline, determinism
+# (DESIGN.md §8, §12). Fixture packages under testdata/ are excluded
+# by ./... expansion.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/osap-vet ./...
 
 # Fails if any file needs gofmt.

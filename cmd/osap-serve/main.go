@@ -66,6 +66,7 @@ func main() {
 	binAddr := flag.String("binary-addr", "", "binary-protocol listen address (empty = HTTP only)")
 	models := flag.String("models", "", "directory of pre-trained artifacts (osap-train output)")
 	registryDir := flag.String("registry", "", "versioned artifact registry root (osap-train -registry output); overrides -models")
+	registryPoll := flag.Duration("registry-poll", 5*time.Second, "registry poll interval for new versions (0 disables polling; SIGHUP still rescans)")
 	canaryFraction := flag.Float64("canary-fraction", 0, "fraction of new sessions routed to a staged candidate (0 = default 0.10)")
 	rollbackMargin := flag.Float64("rollback-margin", 0, "excess candidate demotion/fallback rate that triggers auto-rollback (0 = default 0.05)")
 	dataset := flag.String("dataset", trace.DatasetNorway, "training distribution to serve")
@@ -109,7 +110,7 @@ func main() {
 	case *selftest:
 		err = runSelfTest(cfg, *dataset, *models, *clients, *warmup, *measure, *benchOut)
 	default:
-		err = runServer(*addr, *binAddr, cfg, *dataset, *models, *registryDir)
+		err = runServer(*addr, *binAddr, cfg, *dataset, *models, *registryDir, *registryPoll)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "osap-serve:", err)
@@ -160,7 +161,7 @@ func loadFactory(dataset, models string) (*serve.GuardFactory, error) {
 	return serve.NewGuardFactory(arts, guardConfigFor(dataset))
 }
 
-func runServer(addr, binAddr string, cfg serve.Config, dataset, models, registryDir string) error {
+func runServer(addr, binAddr string, cfg serve.Config, dataset, models, registryDir string, registryPoll time.Duration) error {
 	var factory *serve.GuardFactory
 	var reg *registry.Registry
 	if registryDir != "" {
@@ -186,7 +187,7 @@ func runServer(addr, binAddr string, cfg serve.Config, dataset, models, registry
 	var watcher *registry.Watcher
 	sighup := make(chan os.Signal, 1)
 	if reg != nil {
-		watcher, err = registry.NewWatcher(reg, 5*time.Second, func(added, all []string) {
+		watcher, err = registry.NewWatcher(reg, registryPoll, func(added, all []string) {
 			fmt.Fprintf(os.Stderr, "registry: new versions %v published (available: %v); stage via POST /admin/rollout\n", added, all)
 		})
 		if err != nil {

@@ -13,7 +13,7 @@ import (
 // come back empty, mirroring `make lint`.
 func TestRepoIsClean(t *testing.T) {
 	var b strings.Builder
-	code, err := run(&b, "../..", false, []string{"./..."})
+	code, err := run(&b, "../..", false, false, "", []string{"./..."})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -26,7 +26,7 @@ func TestRepoIsClean(t *testing.T) {
 // violations: exit code 1 and a parseable, non-empty findings array.
 func TestJSONOutput(t *testing.T) {
 	var b strings.Builder
-	code, err := run(&b, "../..", true, []string{"./internal/analysis/testdata/src/hotpath"})
+	code, err := run(&b, "../..", true, false, "", []string{"./internal/analysis/testdata/src/hotpath"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -51,7 +51,7 @@ func TestJSONOutput(t *testing.T) {
 // [] rather than null.
 func TestJSONCleanIsEmptyArray(t *testing.T) {
 	var b strings.Builder
-	code, err := run(&b, "../..", true, []string{"./internal/buildinfo"})
+	code, err := run(&b, "../..", true, false, "", []string{"./internal/buildinfo"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

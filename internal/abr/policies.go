@@ -27,6 +27,8 @@ func NewBBPolicy(levels int) *BBPolicy {
 }
 
 // Level returns BB's deterministic choice for a given buffer occupancy.
+//
+//osap:hotpath
 func (b *BBPolicy) Level(bufferSec float64) int {
 	switch {
 	case bufferSec < b.ReservoirSec:

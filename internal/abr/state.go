@@ -41,6 +41,8 @@ func obsIndex(row, t int) int { return row*HistoryLen + t }
 
 // BufferSecFromObs decodes the playback buffer (seconds) from an
 // observation — this is all the Buffer-Based policy needs.
+//
+//osap:hotpath
 func BufferSecFromObs(obs []float64) float64 {
 	return obs[obsIndex(rowBuffer, HistoryLen-1)] * bufferNorm
 }
@@ -48,6 +50,8 @@ func BufferSecFromObs(obs []float64) float64 {
 // LastThroughputMbps decodes the most recent chunk-throughput
 // measurement (Mbps) from an observation — the signal the U_S novelty
 // detector windows over (§3.1).
+//
+//osap:hotpath
 func LastThroughputMbps(obs []float64) float64 {
 	return obs[obsIndex(rowThroughput, HistoryLen-1)] * throughputNorm
 }

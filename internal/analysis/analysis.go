@@ -1,22 +1,39 @@
 // Package analysis is osap's project-specific static-analysis
 // framework: a stdlib-only (go/ast, go/parser, go/types, go/token)
 // mini-vet that locks in the invariants the benchmarks and race sweeps
-// only spot-check — the allocation-free serving hot path, 32-bit
-// atomic alignment, lock-value hygiene, and deterministic
-// training/eval. cmd/osap-vet is the CLI front end; `make lint` runs
-// it over the whole module and fails the build on any finding.
+// only spot-check — the allocation-free serving hot path (both
+// annotated functions and the transitive call-graph closure beneath
+// them), 32-bit atomic alignment, atomic/plain mixed field access,
+// lock-value hygiene, lock discipline on annotated fields, and
+// deterministic training/eval. cmd/osap-vet is the CLI front end;
+// `make lint` runs it over the whole module and fails the build on any
+// finding.
 //
-// Two source directives drive the analyzers:
+// Five source directives drive the analyzers:
 //
 //	//osap:hotpath
 //	    In a function's doc comment: the function is part of the
 //	    per-step serving path and must not contain allocating
-//	    constructs (see the hotpath-alloc analyzer).
+//	    constructs (see the hotpath-alloc analyzer). Annotated
+//	    functions are also the taint roots of the hotpath-closure
+//	    analyzer, which extends the ban to everything they reach.
+//
+//	//osap:hotpath-stop <reason>
+//	    On a call site's line (or the line above): the call is a
+//	    deliberate exit from the hot path — a demotion branch, panic
+//	    cleanup, or once-per-connection slow path. Hot-path taint does
+//	    not propagate through the edge, and dynamic-dispatch findings
+//	    on the line are suppressed. The reason is mandatory.
 //
 //	//osap:ignore <analyzer> <reason>
 //	    Suppresses diagnostics from <analyzer> on the directive's own
 //	    line and on the line directly below it. The reason is
 //	    mandatory: suppressions are documentation.
+//
+//	//osap:guardedby <mu>
+//	    In a struct field's doc or line comment: the field may only be
+//	    accessed while the named sibling lock field is held (see the
+//	    guardedby analyzer).
 //
 //	//osap:deterministic
 //	    In any file comment: marks the whole package as deterministic,
@@ -31,7 +48,10 @@ import (
 	"sort"
 )
 
-// Analyzer is one named check run over a type-checked package.
+// Analyzer is one named check. Per-package analyzers set Run and are
+// invoked once per package; whole-program analyzers set RunProgram and
+// are invoked once with every package loaded (they see cross-package
+// call edges and field accesses). Exactly one of the two is non-nil.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and //osap:ignore
 	// directives (kebab-case, e.g. "hotpath-alloc").
@@ -40,16 +60,40 @@ type Analyzer struct {
 	Doc string
 	// Run inspects pass.Pkg and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunProgram inspects pass.Prog (all loaded packages at once).
+	RunProgram func(pass *ProgramPass)
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		HotpathAlloc,
+		HotpathClosure,
 		AtomicAlign,
+		AtomicMixed,
 		MutexCopy,
+		GuardedBy,
 		Nondeterminism,
 	}
+}
+
+// ByName resolves a comma-separated analyzer selection against the
+// registered suite, preserving suite order (osap-vet -run).
+func ByName(names []string) ([]*Analyzer, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		if !knownAnalyzer(n) {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
 }
 
 // Diagnostic is one finding, file/line/column-accurate.
@@ -67,7 +111,7 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one per-package analyzer's view of one package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
@@ -87,27 +131,91 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run executes the analyzers over every package, applies //osap:ignore
-// suppressions, and returns the surviving diagnostics sorted by file,
-// line and column. Malformed directives surface as diagnostics from
-// the pseudo-analyzer "directives" and cannot be suppressed.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		dirs := scanDirectives(pkg)
-		out = append(out, dirs.malformed...)
+// Program is the whole-program view handed to RunProgram analyzers:
+// every loaded package sharing one token.FileSet, the merged directive
+// index, and the lazily built call graph.
+type Program struct {
+	Pkgs []*Package
+	// Fset is the file set shared by every package (Load guarantees
+	// one program-wide set).
+	Fset *token.FileSet
 
-		var raw []Diagnostic
+	dirs  *directiveIndex
+	graph *CallGraph
+}
+
+// NewProgram assembles the program view over pkgs (all from one Load
+// call) and scans their directives into one merged index.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, dirs: newDirectiveIndex()}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		scanDirectives(prog.dirs, pkg)
+	}
+	return prog
+}
+
+// CallGraph returns the program call graph, building it on first use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.graph == nil {
+		p.graph = buildCallGraph(p)
+	}
+	return p.graph
+}
+
+// ProgramPass carries one whole-program analyzer's view.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos (the shared file set makes any
+// position in any loaded package addressable).
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over every package — per-package
+// analyzers on each package, whole-program analyzers once — applies
+// //osap:ignore suppressions from the merged directive index, and
+// returns the surviving diagnostics sorted by file, line and column.
+// Malformed directives surface as diagnostics from the pseudo-analyzer
+// "directives" and cannot be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
+	out := append([]Diagnostic(nil), prog.dirs.malformed...)
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
-			a.Run(pass)
-		}
-		for _, d := range raw {
-			if dirs.suppressed(d) {
+			if a.Run == nil {
 				continue
 			}
-			out = append(out, d)
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &raw})
+	}
+	for _, d := range raw {
+		if prog.dirs.suppressed(d) {
+			continue
+		}
+		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {

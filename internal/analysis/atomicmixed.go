@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AtomicMixed enforces all-or-nothing atomicity on struct fields
+// (whole-program): a field whose address is ever passed to a
+// sync/atomic function must be accessed through sync/atomic
+// *everywhere* — one plain read racing with atomic writers is
+// undefined behavior the race detector only catches when the schedule
+// cooperates. The analyzer collects every `atomic.Xxx(&s.f, ...)`
+// argument across all loaded packages, then flags every plain
+// (non-atomic) read or write of those same fields, wherever it lives.
+//
+// Fields of the atomic.Int64/Uint64/... wrapper types are exempt by
+// construction — the value is unexported behind Load/Store methods, so
+// no plain access can exist (and mutex-copy already flags by-value
+// copies of the wrappers). Promoted (embedded) field accesses are
+// keyed by the embedded struct that declares the field.
+var AtomicMixed = &Analyzer{
+	Name:       "atomic-mixed-access",
+	Doc:        "a struct field accessed via sync/atomic must never be read or written plainly",
+	RunProgram: runAtomicMixed,
+}
+
+func runAtomicMixed(pass *ProgramPass) {
+	prog := pass.Prog
+
+	// Pass 1: fields whose address flows into a sync/atomic call.
+	atomicAt := map[string]token.Pos{} // field key → first atomic site
+	atomicArgs := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgID, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pn, ok := info.ObjectOf(pkgID).(*types.PkgName); !ok || pn.Imported().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					key := fieldKey(pkg, sel)
+					if key == "" {
+						continue
+					}
+					atomicArgs[sel] = true
+					if _, seen := atomicAt[key]; !seen {
+						atomicAt[key] = sel.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: plain accesses to those fields anywhere in the program.
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				key := fieldKey(pkg, sel)
+				if key == "" {
+					return true
+				}
+				first, ok := atomicAt[key]
+				if !ok {
+					return true
+				}
+				at := prog.Fset.Position(first)
+				pass.Reportf(sel.Pos(),
+					"plain access to %s, which is accessed atomically at %s:%d; mixing plain and sync/atomic access races — use atomic loads/stores everywhere or an atomic wrapper type",
+					shortFuncName(key), filepath.Base(at.Filename), at.Line)
+				return true
+			})
+		}
+	}
+}
+
+// fieldKey names a struct-field selection stably across package views:
+// "pkgPath.Type.field" derived from the receiver's named type ("" if
+// the selection is not a field access on a named struct). Export-data
+// object identities differ per importing package, so string keys are
+// the cross-package join point.
+func fieldKey(pkg *Package, sel *ast.SelectorExpr) string {
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return ""
+	}
+	t := s.Recv()
+	// The field may be promoted: walk the embedding path so the key
+	// names the struct that declares the field.
+	idx := s.Index()
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := derefStruct(t)
+		if !ok {
+			return ""
+		}
+		t = st.Field(i).Type()
+	}
+	for {
+		ptr, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path() + "."
+	}
+	return path + obj.Name() + "." + s.Obj().Name()
+}
+
+// derefStruct unwraps pointers and names down to a struct type.
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	for {
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Struct:
+			return u, true
+		default:
+			return nil, false
+		}
+	}
+}

@@ -15,7 +15,7 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // fixture seeds true violations and at least one //osap:ignore, so a
 // matching golden proves both detection and suppression.
 func TestGolden(t *testing.T) {
-	fixtures := []string{"hotpath", "atomicalign", "mutexcopy", "nondet"}
+	fixtures := []string{"hotpath", "hotclosure", "atomicalign", "atomicmixed", "mutexcopy", "guardedby", "nondet"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			pkgs, err := Load(".", "./testdata/src/"+name)
@@ -65,8 +65,11 @@ func TestGolden(t *testing.T) {
 func TestGoldenHasFindingsAndSuppressions(t *testing.T) {
 	cases := map[string]string{
 		"hotpath":     "hotpath-alloc",
+		"hotclosure":  "hotpath-closure",
 		"atomicalign": "atomic-align",
+		"atomicmixed": "atomic-mixed-access",
 		"mutexcopy":   "mutex-copy",
+		"guardedby":   "guardedby",
 		"nondet":      "nondeterminism",
 	}
 	for name, analyzer := range cases {
@@ -87,13 +90,18 @@ func TestGoldenHasFindingsAndSuppressions(t *testing.T) {
 
 		// Re-run with suppression disabled by counting raw reports.
 		raw := 0
-		for _, pkg := range pkgs {
+		for _, a := range All() {
+			if a.Name != analyzer {
+				continue
+			}
 			var diags []Diagnostic
-			for _, a := range All() {
-				if a.Name != analyzer {
-					continue
+			if a.Run != nil {
+				for _, pkg := range pkgs {
+					a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
 				}
-				a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			}
+			if a.RunProgram != nil {
+				a.RunProgram(&ProgramPass{Analyzer: a, Prog: NewProgram(pkgs), diags: &diags})
 			}
 			raw += len(diags)
 		}

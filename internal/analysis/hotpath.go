@@ -32,10 +32,16 @@ var HotpathAlloc = &Analyzer{
 func runHotpathAlloc(pass *Pass) {
 	pass.Pkg.funcDecls(func(_ *ast.File, fd *ast.FuncDecl) {
 		if isHotpath(fd) {
-			checkHotpathFunc(pass, fd)
+			checkHotpathBody(pass.Pkg, fd, pass.Reportf)
 		}
 	})
 }
+
+// reporter abstracts Pass.Reportf/ProgramPass.Reportf so the body
+// check serves both the direct hotpath-alloc analyzer and the
+// hotpath-closure analyzer (which wraps the reporter to append the
+// call chain that reached the function).
+type reporter func(pos token.Pos, format string, args ...any)
 
 // span is a half-open source range used for containment tests.
 type span struct{ lo, hi token.Pos }
@@ -51,8 +57,10 @@ func anyContains(spans []span, pos token.Pos) bool {
 	return false
 }
 
-func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
-	info := pass.Pkg.Info
+// checkHotpathBody applies the zero-allocation rules to one function
+// body, reporting violations through report.
+func checkHotpathBody(pkg *Package, fd *ast.FuncDecl, report reporter) {
+	info := pkg.Info
 
 	// First sweep: classify regions and collect scratch buffers.
 	var allowed []span // bodies of cap/len-guarded ifs: allocation sanctioned
@@ -98,23 +106,23 @@ func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			if captured := closureCaptures(pass, x); captured != "" {
-				pass.Reportf(x.Pos(), "closure in hot path captures %s by reference (allocates); hoist the closure or pass state explicitly", captured)
+			if captured := closureCaptures(pkg, x); captured != "" {
+				report(x.Pos(), "closure in hot path captures %s by reference (allocates); hoist the closure or pass state explicitly", captured)
 			}
 		case *ast.CallExpr:
-			checkHotpathCall(pass, x, scratch)
+			checkHotpathCall(pkg, x, scratch, report)
 		case *ast.CompositeLit:
 			switch info.TypeOf(x).Underlying().(type) {
 			case *types.Slice:
-				pass.Reportf(x.Pos(), "slice literal allocates in hot path; use a preallocated scratch buffer")
+				report(x.Pos(), "slice literal allocates in hot path; use a preallocated scratch buffer")
 			case *types.Map:
-				pass.Reportf(x.Pos(), "map literal allocates in hot path")
+				report(x.Pos(), "map literal allocates in hot path")
 			}
 		case *ast.UnaryExpr:
 			if cl, ok := x.X.(*ast.CompositeLit); ok && x.Op == token.AND {
 				if _, isSlice := info.TypeOf(cl).Underlying().(*types.Slice); !isSlice {
 					if _, isMap := info.TypeOf(cl).Underlying().(*types.Map); !isMap {
-						pass.Reportf(x.Pos(), "address of composite literal escapes to the heap in hot path")
+						report(x.Pos(), "address of composite literal escapes to the heap in hot path")
 					}
 				}
 			}
@@ -123,15 +131,15 @@ func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
 				break
 			}
 			if tv, ok := info.Types[x]; ok && tv.Value == nil && isString(tv.Type) {
-				pass.Reportf(x.Pos(), "string concatenation allocates in hot path; preformat outside or use a scratch []byte")
+				report(x.Pos(), "string concatenation allocates in hot path; preformat outside or use a scratch []byte")
 			}
 		}
 		return true
 	})
 }
 
-func checkHotpathCall(pass *Pass, call *ast.CallExpr, scratch map[types.Object]bool) {
-	info := pass.Pkg.Info
+func checkHotpathCall(pkg *Package, call *ast.CallExpr, scratch map[types.Object]bool, report reporter) {
+	info := pkg.Info
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if _, ok := info.ObjectOf(fun).(*types.Builtin); !ok {
@@ -139,19 +147,19 @@ func checkHotpathCall(pass *Pass, call *ast.CallExpr, scratch map[types.Object]b
 		}
 		switch fun.Name {
 		case "make":
-			pass.Reportf(call.Pos(), "make allocates in hot path; grow scratch buffers behind a cap()/len() guard instead")
+			report(call.Pos(), "make allocates in hot path; grow scratch buffers behind a cap()/len() guard instead")
 		case "new":
-			pass.Reportf(call.Pos(), "new allocates in hot path")
+			report(call.Pos(), "new allocates in hot path")
 		case "append":
 			if len(call.Args) == 0 || isScratchDest(info, call.Args[0], scratch) {
 				return
 			}
-			pass.Reportf(call.Pos(), "append to a non-scratch destination may allocate in hot path; append only to buffers resliced from x[:0]")
+			report(call.Pos(), "append to a non-scratch destination may allocate in hot path; append only to buffers resliced from x[:0]")
 		}
 	case *ast.SelectorExpr:
 		if pkg, ok := fun.X.(*ast.Ident); ok {
 			if pn, ok := info.ObjectOf(pkg).(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
-				pass.Reportf(call.Pos(), "fmt.%s allocates (interface boxing + formatting) in hot path", fun.Sel.Name)
+				report(call.Pos(), "fmt.%s allocates (interface boxing + formatting) in hot path", fun.Sel.Name)
 			}
 		}
 	}
@@ -218,9 +226,9 @@ func mentionsCapLen(info *types.Info, cond ast.Expr) bool {
 
 // closureCaptures returns the name of a variable the closure captures
 // from an enclosing function scope ("" if it captures nothing).
-func closureCaptures(pass *Pass, fl *ast.FuncLit) string {
-	info := pass.Pkg.Info
-	pkgScope := pass.Pkg.Types.Scope()
+func closureCaptures(pkg *Package, fl *ast.FuncLit) string {
+	info := pkg.Info
+	pkgScope := pkg.Types.Scope()
 	captured := ""
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		if captured != "" {

@@ -1,0 +1,35 @@
+// Package atomicmixed seeds the all-or-nothing atomicity analyzer: a
+// field with atomic writers and plain readers/writers (two findings),
+// a justified constructor-style plain write (suppressed), and a
+// plain-only field (clean).
+package atomicmixed
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64 // accessed via sync/atomic — must be atomic everywhere
+	plain int64 // never touched atomically: plain access is fine
+}
+
+// bump is the atomic writer that taints hits program-wide.
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+	c.plain++
+}
+
+// peek races with bump: a plain read of an atomically-written field.
+func peek(c *counter) int64 {
+	return c.hits
+}
+
+// stomp races with bump: a plain write.
+func stomp(c *counter) {
+	c.hits = 0
+}
+
+// reset shows the sanctioned escape hatch for pre-sharing writes.
+func reset(c *counter) {
+	//osap:ignore atomic-mixed-access caller guarantees exclusive access during reset
+	c.hits = 0
+	c.plain = 0
+}

@@ -101,7 +101,7 @@ func (p *PolicySignal) Observe(obs []float64) float64 {
 	}
 	dists := p.dists[:0]
 	for _, m := range p.Members {
-		dists = append(dists, m.Probs(obs))
+		dists = append(dists, m.Probs(obs)) //osap:hotpath-stop members are annotated rl.PolicyInference sessions, alloc-tested
 	}
 	return p.scoreDists(dists)
 }
@@ -206,7 +206,7 @@ func (v *ValueSignal) Observe(obs []float64) float64 {
 	}
 	vals := v.vals[:n]
 	for i, m := range v.Members {
-		vals[i] = m.Value(obs)
+		vals[i] = m.Value(obs) //osap:hotpath-stop members are annotated rl.ValueInference sessions, alloc-tested
 	}
 	return v.scoreValues(vals)
 }

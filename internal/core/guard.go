@@ -75,7 +75,7 @@ func (d Decision) Policy() string {
 //
 //osap:hotpath
 func (g *Guard) Decide(obs []float64) Decision {
-	score := g.Signal.Observe(obs)
+	score := g.Signal.Observe(obs) //osap:hotpath-stop production Signal implementations are annotated and alloc-tested
 	if g.record {
 		//osap:ignore hotpath-alloc diagnostics-only recording, off in serving (RecordScores)
 		g.scores = append(g.scores, score)
@@ -88,18 +88,18 @@ func (g *Guard) Decide(obs []float64) Decision {
 		// variance window would poison the estimate for the next K steps.
 		g.defaulted++
 		d.UsedDefault = true
-		d.Fired = g.Trigger.Fired()
-		d.Probs = g.Default.Probs(obs)
+		d.Fired = g.Trigger.Fired()    //osap:hotpath-stop core.Trigger is annotated; the interface is a test seam
+		d.Probs = g.Default.Probs(obs) //osap:hotpath-stop the fallback policy (serve defaultPolicy over abr BB) is annotated
 		return d
 	}
-	if g.Trigger.Step(score) {
+	if g.Trigger.Step(score) { //osap:hotpath-stop core.Trigger is annotated; the interface is a test seam
 		g.defaulted++
 		d.UsedDefault = true
-		d.Probs = g.Default.Probs(obs)
+		d.Probs = g.Default.Probs(obs) //osap:hotpath-stop the fallback policy (serve defaultPolicy over abr BB) is annotated
 	} else {
-		d.Probs = g.Learned.Probs(obs)
+		d.Probs = g.Learned.Probs(obs) //osap:hotpath-stop learned members are annotated rl inference sessions
 	}
-	d.Fired = g.Trigger.Fired()
+	d.Fired = g.Trigger.Fired() //osap:hotpath-stop core.Trigger is annotated; the interface is a test seam
 	return d
 }
 
@@ -126,18 +126,18 @@ func (g *Guard) DecideWith(obs []float64, score float64, learned []float64) Deci
 		// with the default policy but keep the trigger unpoisoned.
 		g.defaulted++
 		d.UsedDefault = true
-		d.Fired = g.Trigger.Fired()
-		d.Probs = g.Default.Probs(obs)
+		d.Fired = g.Trigger.Fired()    //osap:hotpath-stop core.Trigger is annotated; the interface is a test seam
+		d.Probs = g.Default.Probs(obs) //osap:hotpath-stop the fallback policy (serve defaultPolicy over abr BB) is annotated
 		return d
 	}
-	if g.Trigger.Step(score) {
+	if g.Trigger.Step(score) { //osap:hotpath-stop core.Trigger is annotated; the interface is a test seam
 		g.defaulted++
 		d.UsedDefault = true
-		d.Probs = g.Default.Probs(obs)
+		d.Probs = g.Default.Probs(obs) //osap:hotpath-stop the fallback policy (serve defaultPolicy over abr BB) is annotated
 	} else {
 		d.Probs = learned
 	}
-	d.Fired = g.Trigger.Fired()
+	d.Fired = g.Trigger.Fired() //osap:hotpath-stop core.Trigger is annotated; the interface is a test seam
 	return d
 }
 

@@ -174,7 +174,7 @@ func NewStateSignal(model *ocsvm.Model, extract func([]float64) float64, cfg Sta
 //
 //osap:hotpath
 func (s *StateSignal) Observe(obs []float64) float64 {
-	feat := s.tracker.add(s.Extract(obs))
+	feat := s.tracker.add(s.Extract(obs)) //osap:hotpath-stop Extract is a pure accessor (abr.LastThroughputMbps): one index read
 	if feat == nil {
 		return 0
 	}

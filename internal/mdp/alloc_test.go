@@ -1,0 +1,19 @@
+package mdp
+
+import "testing"
+
+// TestArgmaxActionZeroAlloc pins the //osap:hotpath contract of
+// ArgmaxAction — it runs on every greedy inference step.
+func TestArgmaxActionZeroAlloc(t *testing.T) {
+	probs := []float64{0.1, 0.2, 0.4, 0.3}
+	var got int
+	allocs := testing.AllocsPerRun(1000, func() {
+		got = ArgmaxAction(probs)
+	})
+	if allocs != 0 {
+		t.Fatalf("ArgmaxAction allocated %.1f times per run, want 0", allocs)
+	}
+	if got != 2 {
+		t.Fatalf("ArgmaxAction = %d, want 2", got)
+	}
+}

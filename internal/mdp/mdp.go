@@ -83,6 +83,8 @@ func SampleAction(rng *stats.RNG, probs []float64) int {
 
 // ArgmaxAction returns the most probable action (ties broken toward the
 // lower index).
+//
+//osap:hotpath
 func ArgmaxAction(probs []float64) int {
 	best, bestP := 0, probs[0]
 	for a, p := range probs[1:] {

@@ -193,10 +193,10 @@ func (n *Network) ForwardBatchWS(ws *BatchWorkspace, in *linalg.Matrix) *linalg.
 		out.Cols = ws.acts[i].Cols
 		out.Data = ws.acts[i].Data[:batch*ws.acts[i].Cols]
 		if bf, ok := l.(batchForwarder); ok {
-			bf.ForwardBatch(cur, out, ws.scratch[i])
+			bf.ForwardBatch(cur, out, ws.scratch[i]) //osap:hotpath-stop batch-capable layers (Dense, Conv1D) forward into caller workspace, alloc-tested
 		} else {
 			for r := 0; r < batch; r++ {
-				l.Forward(cur.Row(r), out.Row(r))
+				l.Forward(cur.Row(r), out.Row(r)) //osap:hotpath-stop per-row fallback; Layer.Forward implementations are workspace-backed
 			}
 		}
 		cur = out

@@ -87,7 +87,7 @@ func NewNetwork(layers ...Layer) *Network {
 }
 
 // InDim returns the network input length.
-func (n *Network) InDim() int { return n.layers[0].InDim() }
+func (n *Network) InDim() int { return n.layers[0].InDim() } //osap:hotpath-stop InDim implementations are constant field reads
 
 // OutDim returns the network output length.
 func (n *Network) OutDim() int { return n.layers[len(n.layers)-1].OutDim() }

@@ -68,7 +68,7 @@ func (n *Network) ForwardWS(ws *Workspace, in linalg.Vector) linalg.Vector {
 	ws.check(n)
 	cur := in
 	for i, l := range n.layers {
-		l.Forward(cur, ws.acts[i])
+		l.Forward(cur, ws.acts[i]) //osap:hotpath-stop Layer.Forward implementations are workspace-backed and alloc-tested
 		cur = ws.acts[i]
 	}
 	return cur

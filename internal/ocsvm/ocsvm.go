@@ -392,7 +392,7 @@ func (m *Model) Decision(x []float64) float64 {
 	if len(x) != m.Dim {
 		panic(fmt.Sprintf("ocsvm: input dim %d, want %d", len(x), m.Dim))
 	}
-	m.ensureNorms()
+	m.ensureNorms() //osap:hotpath-stop norm cache builds exactly once per model (sync.Once); steady state is a flag check
 	var xn float64
 	for _, v := range x {
 		xn += v * v

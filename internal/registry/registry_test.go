@@ -209,3 +209,46 @@ func TestWatcherSeesNewVersions(t *testing.T) {
 	case <-time.After(100 * time.Millisecond):
 	}
 }
+
+func TestWatcherZeroIntervalDisablesPolling(t *testing.T) {
+	root := t.TempDir()
+	arts := testArtifacts(t)
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion: %v", err)
+	}
+	reg, err := registry.Open(root)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	type event struct{ added, all []string }
+	events := make(chan event, 4)
+	w, err := registry.NewWatcher(reg, 0, func(added, all []string) {
+		events <- event{added, all}
+	})
+	if err != nil {
+		t.Fatalf("NewWatcher: %v", err)
+	}
+	defer w.Stop()
+
+	// With polling disabled, publishing a version fires nothing on its
+	// own — no timer exists to notice it.
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v2", Parent: "v1"}, arts); err != nil {
+		t.Fatalf("WriteVersion v2: %v", err)
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("event without a rescan despite interval 0: %+v", ev)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// An explicit rescan (the SIGHUP path) still sees it.
+	w.Rescan()
+	select {
+	case ev := <-events:
+		if len(ev.added) != 1 || ev.added[0] != "v2" {
+			t.Fatalf("event = %+v, want added [v2]", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rescan missed published version with polling disabled")
+	}
+}

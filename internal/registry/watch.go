@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"sync"
 	"time"
 )
 
@@ -14,18 +15,23 @@ type Watcher struct {
 	reg      *Registry
 	interval time.Duration
 	onChange func(added, all []string)
-	known    map[string]bool
-	kick     chan struct{}
-	stop     chan struct{}
-	done     chan struct{}
+
+	mu sync.Mutex
+	//osap:guardedby mu
+	known map[string]bool
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
 }
 
 // NewWatcher primes the known-version set with the registry's current
 // contents (so onChange only fires for versions published after the
-// watcher starts) and begins polling every interval. interval <= 0
-// defaults to 5s.
+// watcher starts) and begins watching. interval > 0 polls at that
+// cadence; interval == 0 disables the timer entirely, leaving only
+// on-demand rescans (Rescan / SIGHUP); interval < 0 defaults to 5s.
 func NewWatcher(reg *Registry, interval time.Duration, onChange func(added, all []string)) (*Watcher, error) {
-	if interval <= 0 {
+	if interval < 0 {
 		interval = 5 * time.Second
 	}
 	initial, err := reg.Versions()
@@ -42,6 +48,7 @@ func NewWatcher(reg *Registry, interval time.Duration, onChange func(added, all 
 		done:     make(chan struct{}),
 	}
 	for _, v := range initial {
+		//osap:ignore guardedby construction: the watcher is not shared yet
 		w.known[v] = true
 	}
 	go w.loop()
@@ -70,13 +77,17 @@ func (w *Watcher) Stop() {
 
 func (w *Watcher) loop() {
 	defer close(w.done)
-	t := time.NewTicker(w.interval)
-	defer t.Stop()
+	var tick <-chan time.Time // nil (never fires) when polling is disabled
+	if w.interval > 0 {
+		t := time.NewTicker(w.interval)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
 		case <-w.stop:
 			return
-		case <-t.C:
+		case <-tick:
 		case <-w.kick:
 		}
 		w.scan()
@@ -89,12 +100,14 @@ func (w *Watcher) scan() {
 		return // transient FS error; next poll retries
 	}
 	var added []string
+	w.mu.Lock()
 	for _, v := range all {
 		if !w.known[v] {
 			w.known[v] = true
 			added = append(added, v)
 		}
 	}
+	w.mu.Unlock()
 	if len(added) > 0 && w.onChange != nil {
 		w.onChange(added, all)
 	}

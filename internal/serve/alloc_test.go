@@ -1,0 +1,53 @@
+package serve
+
+import "testing"
+
+// TestHotHelpersZeroAlloc pins the //osap:hotpath contracts of the
+// small helpers the step path leans on: the session-table hash, the
+// canary router hash, the latency histogram, and the drift sketches.
+func TestHotHelpersZeroAlloc(t *testing.T) {
+	t.Run("fnv1a", func(t *testing.T) {
+		var h uint64
+		allocs := testing.AllocsPerRun(1000, func() {
+			h = fnv1a("session-abcdef-0123456789")
+		})
+		if allocs != 0 {
+			t.Fatalf("fnv1a allocated %.1f times per run, want 0", allocs)
+		}
+		if h == 0 {
+			t.Fatal("fnv1a returned 0")
+		}
+	})
+	t.Run("mix64", func(t *testing.T) {
+		var h uint64
+		allocs := testing.AllocsPerRun(1000, func() {
+			h = mix64(h + 12345)
+		})
+		if allocs != 0 {
+			t.Fatalf("mix64 allocated %.1f times per run, want 0", allocs)
+		}
+	})
+	t.Run("histogram-observe", func(t *testing.T) {
+		h := NewHistogram()
+		allocs := testing.AllocsPerRun(1000, func() {
+			h.Observe(0.0042)
+		})
+		if allocs != 0 {
+			t.Fatalf("Histogram.Observe allocated %.1f times per run, want 0", allocs)
+		}
+		if h.Count() == 0 {
+			t.Fatal("Histogram.Observe recorded nothing")
+		}
+	})
+	t.Run("drift-observe", func(t *testing.T) {
+		d := newDriftSet()
+		i := 0
+		allocs := testing.AllocsPerRun(1000, func() {
+			d.Observe(uint32(i), uint8(i%driftSignals), float64(i)*0.25)
+			i++
+		})
+		if allocs != 0 {
+			t.Fatalf("DriftSet.Observe allocated %.1f times per run, want 0", allocs)
+		}
+	})
+}

@@ -230,6 +230,7 @@ func newCollector(scorer *rl.BatchScorer, m *Metrics, cfg BatchConfig) *collecto
 // batch wakes the run loop; hitting MaxBatch cuts the window short.
 func (c *collector) park(call *stepCall) {
 	c.mu.Lock()
+	//osap:ignore hotpath-closure parked is presized to MaxBatch and recycled via the spare swap; growth only absorbs transient overshoot
 	c.parked = append(c.parked, call)
 	n := len(c.parked)
 	c.mu.Unlock()
@@ -323,7 +324,7 @@ func (c *collector) flush(calls []*stepCall) {
 		qh.Observe(start.Sub(call.enq).Seconds())
 	}
 	dh := c.metrics.DecisionLatency
-	nPol, nVal, nSt, ok := c.prepare(calls)
+	nPol, nVal, nSt, ok := c.prepare(calls) //osap:hotpath-stop prepare is panic containment by design; clean path asserted by TestBatchedStepZeroAlloc
 	if !ok {
 		// The fused scoring faulted. Serve every call sequentially so
 		// the fault surfaces on (and demotes) the session that owns it,

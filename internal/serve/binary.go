@@ -339,7 +339,7 @@ func (s *Server) binaryOpen(sessions map[uint32]*binSession, payload []byte) (*b
 //
 //osap:hotpath
 func (s *Server) binWorker(bs *binSession, out chan binMsg, done chan struct{}) {
-	hist := s.metrics.Latency("step")
+	hist := s.metrics.Latency("step") //osap:hotpath-stop per-worker setup: the endpoint histogram is resolved once, before the command loop
 	for cmd := range bs.in {
 		// In every arm below, busy is cleared BEFORE the reply is
 		// queued: the client only learns the step finished through the
@@ -349,7 +349,7 @@ func (s *Server) binWorker(bs *binSession, out chan binMsg, done chan struct{}) 
 		// "step already in flight" rejection.
 		if cmd.typ == proto.TypeReset {
 			s.opGate.RLock()
-			err := bs.sess.Reset(s.cfg.Now())
+			err := bs.sess.Reset(s.cfg.Now()) //osap:hotpath-stop Reset is per-episode, not per-step; the clock seam is injected for tests
 			s.opGate.RUnlock()
 			bs.busy.Store(false)
 			if err != nil {
@@ -432,6 +432,7 @@ func binWriter(nc net.Conn, pc *proto.Conn, out chan binMsg, done chan struct{})
 		}
 		if !failed && pc.Flush() != nil {
 			failed = true
+			//osap:hotpath-stop write-failure teardown closes the socket once, then the queue drains
 			nc.Close() //nolint:errcheck
 		}
 	}
@@ -454,17 +455,18 @@ func writeBinMsg(nc net.Conn, pc *proto.Conn, m binMsg, failed bool) bool {
 	case proto.TypeDecision:
 		err = pc.WriteDecision(m.dec)
 	case proto.TypeOpened:
-		err = pc.WriteOpened(m.cid, m.str)
+		err = pc.WriteOpened(m.cid, m.str) //osap:hotpath-stop Opened is a per-session control frame, not per-step traffic
 	case proto.TypeError:
-		err = pc.WriteError(m.cid, m.code, m.str)
+		err = pc.WriteError(m.cid, m.code, m.str) //osap:hotpath-stop Error frames are failure paths, not per-step traffic
 	case proto.TypeOK:
-		err = pc.WriteSessionControl(proto.TypeOK, m.cid)
+		err = pc.WriteSessionControl(proto.TypeOK, m.cid) //osap:hotpath-stop OK is a per-reset control frame
 	case proto.TypePong:
-		err = pc.WriteControl(proto.TypePong, nil)
+		err = pc.WriteControl(proto.TypePong, nil) //osap:hotpath-stop Pong is a keepalive control frame
 	case proto.TypeGoAway:
-		err = pc.WriteGoAway(m.str)
+		err = pc.WriteGoAway(m.str) //osap:hotpath-stop GoAway is a per-connection shutdown frame
 	}
 	if err != nil {
+		//osap:hotpath-stop write-failure teardown closes the socket once
 		nc.Close() //nolint:errcheck
 		return true
 	}

@@ -43,6 +43,8 @@ func NewHistogramBuckets(bounds []float64) *Histogram {
 }
 
 // Observe records one value (seconds for latency histograms).
+//
+//osap:hotpath
 func (h *Histogram) Observe(sec float64) {
 	i := sort.SearchFloat64s(h.bounds, sec)
 	h.counts[i].Add(1)

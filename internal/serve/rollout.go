@@ -146,11 +146,17 @@ type Rollout struct {
 	promotions atomic.Uint64
 	rollbacks  atomic.Uint64
 
-	mu        sync.Mutex
-	all       []*Generation // every generation ever staged, in stage order
+	mu sync.Mutex
+	// all holds every generation ever staged, in stage order.
+	//
+	//osap:guardedby mu
+	all []*Generation
+	//osap:guardedby mu
 	byVersion map[string]*Generation
-	events    []RolloutEvent
-	eventSeq  uint64
+	//osap:guardedby mu
+	events []RolloutEvent
+	//osap:guardedby mu
+	eventSeq uint64
 }
 
 func newRollout(base *Generation, cfg RolloutConfig) *Rollout {
@@ -166,6 +172,8 @@ func newRollout(base *Generation, cfg RolloutConfig) *Rollout {
 // mix64 is the splitmix64 finalizer: session index → uniform 64-bit
 // hash, so canary assignment is deterministic in arrival order but
 // uncorrelated with it.
+//
+//osap:hotpath
 func mix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15
 	x ^= x >> 30
@@ -397,6 +405,7 @@ const driftShardCount = 16
 // signal, padded so neighboring shards don't share a cache line.
 type driftShard struct {
 	mu sync.Mutex
+	//osap:guardedby mu
 	sk [driftSignals]*sketch.Sketch
 	_  [64]byte
 }
@@ -412,7 +421,7 @@ type DriftSet struct {
 func newDriftSet() *DriftSet {
 	d := &DriftSet{}
 	for i := range d.shards {
-		for j := range d.shards[i].sk {
+		for j := range d.shards[i].sk { //osap:ignore guardedby construction: the set is not shared yet
 			d.shards[i].sk[j] = sketch.New(sketch.DefaultCompression)
 		}
 	}

@@ -442,9 +442,9 @@ func (s *Server) stepSession(sess *Session, obs []float64) (StepResult, error) {
 	var res StepResult
 	var err error
 	if b := sess.gen.batcher; b != nil && sess.class != classSeq {
-		res, err = b.do(sess, obs, s.cfg.Now())
+		res, err = b.do(sess, obs, s.cfg.Now()) //osap:hotpath-stop clock seam: production Now is time.Now, non-allocating
 	} else {
-		res, err = sess.Step(obs, s.cfg.Now())
+		res, err = sess.Step(obs, s.cfg.Now()) //osap:hotpath-stop clock seam: production Now is time.Now, non-allocating
 	}
 	if err == nil {
 		sess.gen.stats.Latency.Observe(time.Since(start).Seconds())
@@ -494,7 +494,7 @@ func (s *Server) recordStep(sess *Session, res StepResult) {
 		gen.drift.Observe(sess.driftShard, sess.sigIdx, res.Decision.Score)
 	}
 	if d&63 == 0 && s.rollout.candidate.Load() == gen {
-		s.rollout.evaluate(s.cfg.Now())
+		s.rollout.evaluate(s.cfg.Now()) //osap:hotpath-stop rollout evaluation is amortized to every 64th decision and may transition rollout state; deliberately off the steady-state step path
 	}
 }
 

@@ -119,7 +119,7 @@ func (s *Session) Step(obs []float64, now time.Time) (StepResult, error) {
 		s.lastUsed.Store(now.UnixNano())
 		return res, nil
 	}
-	d, pv := s.decide(obs)
+	d, pv := s.decide(obs) //osap:hotpath-stop decide is panic containment by design; clean path asserted by TestSessionStepZeroAlloc
 	return s.finishLocked(obs, d, pv, now)
 }
 
@@ -143,7 +143,7 @@ func (s *Session) stepBatched(obs []float64, ev *batchEval, now time.Time) (Step
 		s.lastUsed.Store(now.UnixNano())
 		return res, nil
 	}
-	d, pv := s.decideBatched(obs, ev)
+	d, pv := s.decideBatched(obs, ev) //osap:hotpath-stop decideBatched is panic containment by design; clean path asserted by TestBatchedStepZeroAlloc
 	return s.finishLocked(obs, d, pv, now)
 }
 
@@ -251,7 +251,7 @@ func (s *Session) demoteLocked(reason string) {
 // policy, bypassing the demoted guard entirely. Score stays 0 — never
 // the poisoned value — so the response always JSON-encodes.
 func (s *Session) serveSafeLocked(obs []float64) StepResult {
-	probs := s.guard.Default.Probs(obs)
+	probs := s.guard.Default.Probs(obs) //osap:hotpath-stop the fallback policy (serve defaultPolicy over abr BB) is annotated and alloc-tested
 	return StepResult{
 		Action: mdp.ArgmaxAction(probs),
 		Decision: core.Decision{

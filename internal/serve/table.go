@@ -26,7 +26,8 @@ type Table struct {
 
 type tableShard struct {
 	mu sync.RWMutex
-	m  map[string]*Session
+	//osap:guardedby mu
+	m map[string]*Session
 	// Pad the shard to its own cache lines so neighboring shard locks
 	// don't false-share under heavy step traffic.
 	_ [64]byte
@@ -41,12 +42,15 @@ func NewTable(shards int, maxSessions int) *Table {
 	}
 	t := &Table{shards: make([]tableShard, n), mask: uint64(n - 1), max: int64(maxSessions)}
 	for i := range t.shards {
+		//osap:ignore guardedby construction: the table is not shared yet
 		t.shards[i].m = make(map[string]*Session)
 	}
 	return t
 }
 
 // fnv1a hashes a session ID (inlined FNV-1a, no allocation).
+//
+//osap:hotpath
 func fnv1a(s string) uint64 {
 	var h uint64 = 0xcbf29ce484222325
 	for i := 0; i < len(s); i++ {

@@ -136,6 +136,8 @@ func (s *Sketch) ingest(x, w float64) bool {
 // buffer, merge-walk it with the (already sorted) centroids, and
 // cluster greedily under the t-digest weight limit. Allocation-free by
 // construction — everything lands in preallocated scratch.
+//
+//osap:hotpath
 func (s *Sketch) compress() {
 	if s.bn == 0 {
 		return
@@ -257,6 +259,8 @@ func (s *Sketch) Reset() {
 // sortPairs heap-sorts v ascending, swapping w in lockstep. Heapsort:
 // in-place, allocation-free, and deterministic for a given input
 // order.
+//
+//osap:hotpath
 func sortPairs(v, w []float64) {
 	n := len(v)
 	for i := n/2 - 1; i >= 0; i-- {
@@ -269,6 +273,7 @@ func sortPairs(v, w []float64) {
 	}
 }
 
+//osap:hotpath
 func siftDown(v, w []float64, root, n int) {
 	for {
 		child := 2*root + 1

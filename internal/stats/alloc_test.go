@@ -1,0 +1,24 @@
+package stats
+
+import "testing"
+
+// TestValuesIntoZeroAlloc pins the //osap:hotpath contract of
+// RollingWindow.ValuesInto: with a reused destination buffer of window
+// capacity, draining the window allocates nothing. The U_S signal
+// tracker calls it on every observation.
+func TestValuesIntoZeroAlloc(t *testing.T) {
+	rw := NewRollingWindow(32)
+	for i := 0; i < 48; i++ { // past capacity, so the wrapped path runs
+		rw.Add(float64(i))
+	}
+	buf := make([]float64, 0, 32)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = rw.ValuesInto(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("ValuesInto allocated %.1f times per run, want 0", allocs)
+	}
+	if len(buf) != 32 {
+		t.Fatalf("ValuesInto returned %d values, want 32", len(buf))
+	}
+}

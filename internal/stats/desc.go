@@ -196,10 +196,14 @@ func (rw *RollingWindow) Values() []float64 {
 	return rw.ValuesInto(make([]float64, 0, len(rw.buf)))
 }
 
-// ValuesInto appends the window contents, oldest to newest, to dst and
-// returns the extended slice. Passing a reused dst[:0] makes the call
-// allocation-free once dst has window capacity.
+// ValuesInto fills dst — resliced to empty first, so any previous
+// contents are discarded — with the window contents ordered oldest to
+// newest, and returns the filled slice. Passing a reused buffer makes
+// the call allocation-free once it has window capacity.
+//
+//osap:hotpath
 func (rw *RollingWindow) ValuesInto(dst []float64) []float64 {
+	dst = dst[:0]
 	if len(rw.buf) < rw.cap {
 		return append(dst, rw.buf...)
 	}
