@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X osap/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench chaos rollout-selftest
+.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench chaos rollout-selftest recovery-selftest
 
 all: build
 
@@ -46,7 +46,7 @@ fmt-check:
 race:
 	$(GO) test -race . ./cmd/... ./internal/...
 
-ci: verify vet lint fmt-check race rollout-selftest
+ci: verify vet lint fmt-check race rollout-selftest recovery-selftest
 
 # Full benchmark suite (figures, ablations, latency).
 bench:
@@ -69,6 +69,16 @@ serve-bench:
 # crash, no dropped step, exactly the scheduled demotions, clean drain.
 chaos:
 	$(GO) run -race $(LDFLAGS) ./cmd/osap-serve -chaos
+
+# Probation/recovery selftest (DESIGN.md §13): 1000 sessions whose
+# uncertainty streams are fully scripted through demote → recover →
+# re-demote → latch patterns. Asserts every session's demoted flag at
+# every step against a closed-form oracle (zero mismatches), exact
+# recovery counter totals on /metrics, /healthz and /dashboard,
+# permanent latches for fault-demoted and cap-exhausted sessions, and
+# a clean drain.
+recovery-selftest:
+	$(GO) run $(LDFLAGS) ./cmd/osap-serve -recovery
 
 # Hot-reload/canary selftest (DESIGN.md §11): publish versions into a
 # throwaway registry, stage a 10% canary under a 1000-client wave and

@@ -151,6 +151,11 @@ func run(fig, scale, models, save string, verbose bool) error {
 				return err
 			}
 			fmt.Println(tg.Render())
+			rc, err := lab.ExtensionRecovery(tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(rc.Render())
 			oh, err := lab.OracleHeadroom(tr, 4)
 			if err != nil {
 				return err

@@ -76,6 +76,7 @@ func main() {
 	selftest := flag.Bool("selftest", false, "run the load-generator matrix instead of serving")
 	chaosTest := flag.Bool("chaos", false, "run the fault-injection self-test instead of serving")
 	rolloutTest := flag.Bool("rollout", false, "run the hot-reload/canary self-test instead of serving")
+	recoveryTest := flag.Bool("recovery", false, "run the probation/recovery chaos self-test instead of serving")
 	chaosSeed := flag.Uint64("chaos-seed", 20200713, "chaos: fault-schedule seed")
 	chaosSteps := flag.Int("chaos-steps", 48, "chaos: decisions per client")
 	transport := flag.String("transport", loadgen.ProtocolHTTP, `chaos: wire protocol ("http" or "binary")`)
@@ -85,6 +86,10 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selftest: result file")
 	flag.IntVar(&selftestSessionsPerConn, "sessions-per-conn", 0,
 		"selftest/chaos: viewers multiplexed per binary connection (0 = loadgen default)")
+	flag.IntVar(&flagReadmitL, "readmit-l", 0,
+		"probation hysteresis l′: re-admit a demoted session after this many consecutive confident shadow steps (0 = demotion latches for good, the paper's behavior)")
+	flag.IntVar(&flagReadmitCap, "readmit-cap", 0,
+		"re-admissions allowed per session episode before the latch becomes permanent (0 = never re-admit; negative = unlimited)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -96,6 +101,8 @@ func main() {
 		MaxSessions: *maxSessions,
 		Shards:      *shards,
 		SessionTTL:  *ttl,
+		ReadmitL:    flagReadmitL,
+		ReadmitCap:  flagReadmitCap,
 		Rollout: serve.RolloutConfig{
 			CanaryFraction: *canaryFraction,
 			RollbackMargin: *rollbackMargin,
@@ -105,6 +112,8 @@ func main() {
 	switch {
 	case *rolloutTest:
 		err = runRolloutSelfTest(cfg, *dataset, *clients, *chaosSeed)
+	case *recoveryTest:
+		err = runRecoveryChaos(cfg, *dataset, *clients, *chaosSteps, *chaosSeed, *transport)
 	case *chaosTest:
 		err = runChaos(cfg, *dataset, *clients, *chaosSteps, *chaosSeed, *transport)
 	case *selftest:
@@ -118,6 +127,17 @@ func main() {
 	}
 }
 
+// flagReadmitL / flagReadmitCap are the -readmit-l / -readmit-cap
+// probation knobs, threaded into both layers of the recovery state
+// machine: the serve-side session probation (serve.Config) and the
+// core trigger hysteresis (serve.GuardConfig via guardConfigFor). Both
+// default to 0 — demotions and latched triggers are permanent, the
+// paper's behavior.
+var (
+	flagReadmitL   int
+	flagReadmitCap int
+)
+
 // guardConfigFor derives the serving guard configuration for a dataset
 // from the quick-scale lab defaults — shared by every way of obtaining
 // artifacts (-models, -registry, in-process training) so a given
@@ -128,7 +148,10 @@ func guardConfigFor(dataset string) serve.GuardConfig {
 	if trace.IsEmpirical(dataset) {
 		k = labCfg.StateKEmpirical
 	}
-	gcfg := serve.GuardConfig{TriggerL: labCfg.TriggerL, Trim: labCfg.Trim}
+	gcfg := serve.GuardConfig{
+		TriggerL: labCfg.TriggerL, Trim: labCfg.Trim,
+		ReadmitL: flagReadmitL, ReadmitCap: flagReadmitCap,
+	}
 	gcfg.StateSignal.ThroughputWindow = labCfg.ThroughputWindow
 	gcfg.StateSignal.K = k
 	return gcfg
@@ -266,6 +289,14 @@ type cellResult struct {
 	StepsDropped     int64  `json:"steps_dropped"`
 	Fallbacks        int64  `json:"fallback_steps"`
 
+	// Fleet recovery stats (DESIGN.md §13): demotion events, probation
+	// re-admissions, repeat demotions and permanent latches. All zero
+	// in a healthy run with probation off.
+	SessionsDemoted  int64  `json:"sessions_demoted"`
+	Recoveries       int64  `json:"sessions_recovered"`
+	Redemotions      int64  `json:"sessions_redemoted"`
+	PermanentLatches uint64 `json:"sessions_latched"`
+
 	SteadyStateSec    float64 `json:"steady_state_window_sec"`
 	SteadyStateSteps  int64   `json:"steady_state_steps"`
 	ThroughputStepsPS float64 `json:"throughput_steps_per_sec"`
@@ -384,11 +415,12 @@ func runSelfTest(cfg serve.Config, dataset, models string, clients int, warmup, 
 			firstErr = fmt.Errorf("cell %s/%d procs: %w", cell.transport, cell.procs, err)
 		}
 		out.Cells = append(out.Cells, cr)
-		fmt.Printf("selftest [%s, %d procs]: %.0f steps/s steady state, rtt p50 %.0fµs p99 %.0fµs, decision p99 %.0fµs, queue p99 %.0fµs, batch mean %.1f, dropped %d\n",
+		fmt.Printf("selftest [%s, %d procs]: %.0f steps/s steady state, rtt p50 %.0fµs p99 %.0fµs, decision p99 %.0fµs, queue p99 %.0fµs, batch mean %.1f, dropped %d, demoted %d (recovered %d, re-demoted %d, latched %d)\n",
 			cr.Transport, cr.GOMAXPROCS, cr.ThroughputStepsPS,
 			cr.LatencyP50Usec, cr.LatencyP99Usec,
 			cr.LatencyDecisionP99Usec, cr.LatencyQueueP99Usec,
-			cr.BatchSizeMean, cr.StepsDropped)
+			cr.BatchSizeMean, cr.StepsDropped,
+			cr.SessionsDemoted, cr.Recoveries, cr.Redemotions, cr.PermanentLatches)
 	}
 	last := out.Cells[len(out.Cells)-1]
 	out.ThroughputStepsPS = last.ThroughputStepsPS
@@ -427,6 +459,10 @@ func runSelfTestCell(cfg serve.Config, factory *serve.GuardFactory, video *abr.V
 		Traces:          traces,
 		Seed:            1,
 		SessionsPerConn: selftestSessionsPerConn,
+		// With probation enabled (-readmit-l), demoted sessions may
+		// legitimately recover; count the flips instead of flagging them
+		// as permanence violations.
+		Probation: flagReadmitL > 0,
 	}
 	var httpSrv *http.Server
 	if transport == loadgen.ProtocolBinary {
@@ -489,6 +525,10 @@ func runSelfTestCell(cfg serve.Config, factory *serve.GuardFactory, video *abr.V
 	cr.StepsDrained = res.StepsDrained
 	cr.StepsDropped = res.StepsDropped
 	cr.Fallbacks = res.Fallbacks
+	cr.SessionsDemoted = res.SessionsDemoted
+	cr.Recoveries = res.Recoveries
+	cr.Redemotions = res.Redemotions
+	cr.PermanentLatches = m.SessionsLatched.Load()
 	cr.SteadyStateSec = window.Seconds()
 	cr.SteadyStateSteps = steadySteps
 	cr.ThroughputStepsPS = float64(steadySteps) / window.Seconds()

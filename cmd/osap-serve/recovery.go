@@ -1,0 +1,252 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"osap/internal/abr"
+	"osap/internal/chaos"
+	"osap/internal/serve"
+	"osap/internal/serve/loadgen"
+	"osap/internal/stats"
+	"osap/internal/trace"
+)
+
+// Defaults for the -recovery harness when -readmit-l / -readmit-cap
+// are left at their serving defaults (0 = probation off, which would
+// make the recovery exercise vacuous).
+const (
+	recoveryDefaultReadmitL   = 4
+	recoveryDefaultReadmitCap = 2
+)
+
+// runRecoveryChaos is the probation selftest behind -recovery: the
+// scripted demote→recover→re-demote counterpart of -chaos. It boots
+// the server with probation enabled and every session's uncertainty
+// stream replaced by a fully deterministic script (internal/chaos
+// RecoverySchedule): a confident score everywhere except scheduled
+// fault steps, patterns cycling through clean, recover-once,
+// cap-exhaustion, permanent panic, Inf-recover and end-in-probation.
+// Because the whole run is scripted, the assertions are exact, not
+// statistical:
+//
+//   - no step is dropped and every client gets its full budget,
+//   - every session's demoted flag matches the closed-form prediction
+//     at every single step — demotions, re-admissions and permanent
+//     latches all land on their scheduled step indices,
+//   - the recovery counters (recovered / re-demoted / latched), the
+//     demoted and probation gauges, /healthz, /metrics and /dashboard
+//     all report the closed-form totals,
+//   - cap-exhausted and fault-demoted sessions never serve a learned
+//     decision again, and the fleet drains cleanly to zero.
+func runRecoveryChaos(cfg serve.Config, dataset string, clients, stepsPerClient int, seed uint64, transport string) error {
+	if cfg.ReadmitL <= 0 {
+		cfg.ReadmitL = recoveryDefaultReadmitL
+	}
+	if cfg.ReadmitCap == 0 {
+		cfg.ReadmitCap = recoveryDefaultReadmitCap
+	}
+	sched, err := chaos.NewRecoverySchedule(chaos.RecoveryScript(stepsPerClient, cfg.ReadmitL, cfg.ReadmitCap))
+	if err != nil {
+		return err
+	}
+	steps := sched.Config().Steps // RecoveryScript may raise the budget
+
+	arts, err := serve.SyntheticArtifacts(dataset, 3, seed)
+	if err != nil {
+		return err
+	}
+	factory, err := serve.NewGuardFactory(arts, serve.GuardConfig{
+		ReadmitL: cfg.ReadmitL, ReadmitCap: cfg.ReadmitCap,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.MaxSessions > 0 && cfg.MaxSessions < clients {
+		cfg.MaxSessions = clients
+	}
+	cfg.WrapGuard = sched.WrapGuard
+	srv, err := serve.NewServer(factory, cfg)
+	if err != nil {
+		return err
+	}
+	srv.StartSweeper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
+	baseURL := "http://" + ln.Addr().String()
+	binary := transport == loadgen.ProtocolBinary
+	var binLn net.Listener
+	if binary {
+		if binLn, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return err
+		}
+		go srv.ServeBinary(binLn) //nolint:errcheck // returns on drain + close
+	}
+
+	gen, err := trace.GeneratorFor(dataset)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(seed)
+	traces := make([]*trace.Trace, 16)
+	for i := range traces {
+		traces[i] = gen.Generate(rng, 200)
+	}
+
+	ex := sched.Expected(clients)
+	fmt.Fprintf(os.Stderr, "recovery: %d clients × %d steps (l′=%d cap=%d): expecting %d demotions (%d repeat), %d recoveries, %d permanent latches\n",
+		clients, steps, cfg.ReadmitL, cfg.ReadmitCap, ex.Demotions, ex.Redemotions, ex.Recoveries, ex.Latched)
+
+	lgCfg := loadgen.Config{
+		BaseURL:        baseURL,
+		Clients:        clients,
+		StepsPerClient: steps,
+		Schemes:        factory.Schemes(),
+		Video:          abr.SyntheticVideo(seed, 24, 4),
+		Traces:         traces,
+		Seed:           seed,
+		Probation:      true,
+		ExpectDemoted:  sched.DemotedAt,
+	}
+	if binary {
+		lgCfg.Protocol = loadgen.ProtocolBinary
+		lgCfg.Addr = binLn.Addr().String()
+		lgCfg.SessionsPerConn = selftestSessionsPerConn
+	}
+	start := time.Now()
+	res, err := loadgen.Run(context.Background(), lgCfg)
+	if err != nil {
+		return fmt.Errorf("recovery: loadgen: %w", err)
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	check := func(name string, got, want int64) {
+		if got != want {
+			fail("%s = %d, schedule requires exactly %d", name, got, want)
+		}
+	}
+	check("sessions created", res.SessionsCreated, int64(clients))
+	check("steps dropped", res.StepsDropped, 0)
+	check("steps served", res.StepsOK, int64(clients)*int64(steps))
+	check("demoted-flag mismatches", res.FlagMismatches, 0)
+	check("degraded decisions not from the safe policy", res.DemotionViolations, 0)
+	check("client-observed demoted sessions", res.SessionsDemoted, int64(ex.FirstDemotions))
+	check("client-observed recoveries", res.Recoveries, int64(ex.Recoveries))
+	check("client-observed re-demotions", res.Redemotions, int64(ex.Redemotions))
+	check("client sessions ending demoted", res.SessionsEndDemoted, int64(ex.EndDemoted))
+	check("client-observed degraded steps", res.StepsDemoted, ex.DemotedSteps)
+
+	m := srv.Metrics()
+	check("server sessions demoted", int64(m.SessionsDemoted.Load()), int64(ex.FirstDemotions))
+	check("server re-demotions", int64(m.SessionsRedemoted.Load()), int64(ex.Redemotions))
+	check("server recoveries", int64(m.SessionsRecovered.Load()), int64(ex.Recoveries))
+	check("server permanent latches", int64(m.SessionsLatched.Load()), int64(ex.Latched))
+	check("server panics recovered", int64(m.PanicsRecovered.Load()), int64(ex.Panics))
+	check("server non-finite scores", int64(m.NonFiniteScores.Load()), int64(ex.NonFinite))
+	check("server decisions", int64(m.Decisions.Load()), res.StepsOK)
+	check("demoted-live gauge before drain", srv.DemotedLive(), int64(ex.EndDemoted))
+	check("probation-live gauge before drain", srv.ProbationLive(), int64(ex.EndProbation))
+
+	if body, err := scrape(baseURL + "/healthz"); err != nil {
+		fail("healthz: %v", err)
+	} else {
+		if ex.EndDemoted > 0 && !strings.Contains(body, `"status":"degraded"`) {
+			fail("healthz did not report degraded: %s", strings.TrimSpace(body))
+		}
+		if want := fmt.Sprintf(`"recovered_total":%d`, ex.Recoveries); !strings.Contains(body, want) {
+			fail("healthz missing %s", want)
+		}
+	}
+	if body, err := scrape(baseURL + "/metrics"); err != nil {
+		fail("metrics: %v", err)
+	} else {
+		for _, want := range []string{
+			fmt.Sprintf("osap_sessions_recovered_total %d", ex.Recoveries),
+			fmt.Sprintf("osap_sessions_redemoted_total %d", ex.Redemotions),
+			fmt.Sprintf("osap_sessions_latched_total %d", ex.Latched),
+			fmt.Sprintf("osap_sessions_probation_live %d", ex.EndProbation),
+		} {
+			if !strings.Contains(body, want+"\n") {
+				fail("metrics missing %q", want)
+			}
+		}
+	}
+	if got, err := dashboardRecoveryTotals(baseURL); err != nil {
+		fail("dashboard: %v", err)
+	} else {
+		check("dashboard recovered_total", int64(got.recovered), int64(ex.Recoveries))
+		check("dashboard redemoted_total", int64(got.redemoted), int64(ex.Redemotions))
+		check("dashboard latched_total", int64(got.latched), int64(ex.Latched))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx, io.Discard); err != nil {
+		fail("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fail("http shutdown: %v", err)
+	}
+	if binLn != nil {
+		binLn.Close() //nolint:errcheck // stops the accept loop
+	}
+	check("demoted-live gauge after drain", srv.DemotedLive(), 0)
+	check("probation-live gauge after drain", srv.ProbationLive(), 0)
+	check("drained sessions", int64(m.SessionsDrained.Load()), int64(clients))
+
+	fmt.Printf("recovery: %d steps ok, %d dropped, %d/%d sessions demoted (%d re-demotions), %d recovered, %d latched permanently, 0 flag mismatches across %d flips, drained clean in %v\n",
+		res.StepsOK, res.StepsDropped, m.SessionsDemoted.Load(), clients, m.SessionsRedemoted.Load(),
+		m.SessionsRecovered.Load(), m.SessionsLatched.Load(), ex.Demotions+ex.Recoveries, time.Since(start).Round(time.Millisecond))
+	if len(failures) > 0 {
+		return fmt.Errorf("recovery: %d assertion(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Println("recovery: all assertions passed")
+	return nil
+}
+
+// recoveryTotals is the fleet-wide sum of per-version recovery
+// counters in the dashboard document.
+type recoveryTotals struct {
+	recovered, redemoted, latched uint64
+}
+
+// dashboardRecoveryTotals scrapes /dashboard and sums the recovery
+// counters across artifact versions (a -recovery run has one, but the
+// sum is the honest fleet total either way).
+func dashboardRecoveryTotals(baseURL string) (recoveryTotals, error) {
+	var t recoveryTotals
+	body, err := scrape(baseURL + "/dashboard")
+	if err != nil {
+		return t, err
+	}
+	var doc struct {
+		Versions []struct {
+			Recovered uint64 `json:"recovered_total"`
+			Redemoted uint64 `json:"redemoted_total"`
+			Latched   uint64 `json:"latched_total"`
+		} `json:"versions"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		return t, fmt.Errorf("decode: %w", err)
+	}
+	for _, v := range doc.Versions {
+		t.recovered += v.Recovered
+		t.redemoted += v.Redemoted
+		t.latched += v.Latched
+	}
+	return t, nil
+}

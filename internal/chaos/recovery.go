@@ -1,0 +1,347 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"osap/internal/core"
+)
+
+// RecoveryConfig parameterizes a RecoverySchedule: the scripted
+// demote→recover→re-demote exercise behind `osap-serve -recovery`.
+// Unlike the randomized Schedule, every session's fault pattern is a
+// pure function of its creation index — no seed, no sampling — so the
+// harness can assert the exact step index of every demotion, every
+// re-admission and every permanent latch, for every session at once.
+type RecoveryConfig struct {
+	// Steps is the per-client decision budget S; every fault pattern is
+	// laid out inside it.
+	Steps int
+	// ReadmitL is the serve-side probation hysteresis l′: a session
+	// recovers after this many consecutive confident shadow steps
+	// (serve.Config.ReadmitL must be set to the same value).
+	ReadmitL int
+	// ReadmitCap is the per-session re-admission budget
+	// (serve.Config.ReadmitCap); the cap-exhaustion pattern schedules
+	// ReadmitCap+1 faults so its last demotion latches permanently.
+	ReadmitCap int
+}
+
+// recoveryFaultBase is the step of the first scheduled fault, and
+// recoveryFaultGap the number of live steps a recovered session serves
+// before its next scheduled fault. Both are fixed: the schedule's
+// value is exactness, not variety.
+const (
+	recoveryFaultBase = 6
+	recoveryFaultGap  = 4
+)
+
+// chainEnd returns the step of the last fault in the cap-exhaustion
+// chain: fault i fires ReadmitL (shadow) + recoveryFaultGap (live)
+// steps after fault i-1's step.
+func (c RecoveryConfig) chainEnd() int {
+	return recoveryFaultBase + c.ReadmitCap*(c.ReadmitL+recoveryFaultGap)
+}
+
+// Validate checks that every pattern fits the step budget.
+func (c RecoveryConfig) Validate() error {
+	if c.ReadmitL < 2 {
+		return fmt.Errorf("chaos: recovery ReadmitL %d < 2 (the tail pattern must end inside probation)", c.ReadmitL)
+	}
+	if c.ReadmitCap < 1 {
+		return fmt.Errorf("chaos: recovery ReadmitCap %d < 1 (the chain pattern needs at least one re-admission)", c.ReadmitCap)
+	}
+	if c.Steps < c.chainEnd()+4 {
+		return fmt.Errorf("chaos: recovery Steps %d < %d (cap-exhaustion chain must finish with margin)",
+			c.Steps, c.chainEnd()+4)
+	}
+	return nil
+}
+
+// RecoveryScript returns the standard -recovery configuration, raising
+// the step budget to the minimum the patterns need.
+func RecoveryScript(stepsPerClient, readmitL, readmitCap int) RecoveryConfig {
+	c := RecoveryConfig{Steps: stepsPerClient, ReadmitL: readmitL, ReadmitCap: readmitCap}
+	if min := c.chainEnd() + 4; c.Steps < min {
+		c.Steps = min
+	}
+	return c
+}
+
+// RecoveryPlan is one session's scripted fault pattern: Kind injected
+// at each step in Steps (ascending). Between faults the wrapped signal
+// reports a confident score of 0, so triggers never fire organically
+// and every state transition in the run is scheduled.
+type RecoveryPlan struct {
+	Kind  Kind
+	Steps []int
+}
+
+// Clean reports whether the plan injects nothing.
+func (p RecoveryPlan) Clean() bool { return len(p.Steps) == 0 }
+
+// The six recovery patterns, assigned round-robin by session creation
+// index (idx % 6).
+const (
+	patClean     = 0 // no faults; serves live end to end
+	patRecover   = 1 // one NaN: demote, shadow, re-admit
+	patExhaust   = 2 // ReadmitCap+1 NaNs: recover cap times, then latch
+	patPanic     = 3 // one panic: fault demotion, permanent from step one
+	patRecoverIn = 4 // one +Inf: same shape as patRecover, Inf flavor
+	patTail      = 5 // NaN near the end: the run finishes mid-probation
+)
+
+// recoveryPatterns is how many patterns the round-robin cycles over.
+const recoveryPatterns = 6
+
+// RecoverySchedule assigns a deterministic fault pattern to every
+// session and predicts, in closed form, the exact demoted-flag value
+// of every (session, step) pair plus all aggregate counters. Safe for
+// concurrent use; every method is a pure function of the config.
+type RecoverySchedule struct {
+	cfg RecoveryConfig
+}
+
+// NewRecoverySchedule validates cfg and wraps it.
+func NewRecoverySchedule(cfg RecoveryConfig) (*RecoverySchedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &RecoverySchedule{cfg: cfg}, nil
+}
+
+// Config returns the schedule's configuration.
+func (s *RecoverySchedule) Config() RecoveryConfig { return s.cfg }
+
+// Plan returns the idx-th created session's fault pattern.
+func (s *RecoverySchedule) Plan(idx uint64) RecoveryPlan {
+	c := s.cfg
+	switch idx % recoveryPatterns {
+	case patRecover:
+		return RecoveryPlan{Kind: NaNScore, Steps: []int{recoveryFaultBase}}
+	case patExhaust:
+		steps := make([]int, c.ReadmitCap+1)
+		for i := range steps {
+			steps[i] = recoveryFaultBase + i*(c.ReadmitL+recoveryFaultGap)
+		}
+		return RecoveryPlan{Kind: NaNScore, Steps: steps}
+	case patPanic:
+		return RecoveryPlan{Kind: PanicObserve, Steps: []int{recoveryFaultBase}}
+	case patRecoverIn:
+		return RecoveryPlan{Kind: InfScore, Steps: []int{recoveryFaultBase}}
+	case patTail:
+		return RecoveryPlan{Kind: NaNScore, Steps: []int{c.Steps - 2}}
+	}
+	return RecoveryPlan{}
+}
+
+// WrapGuard is the serve.Config.WrapGuard hook. Every session is
+// wrapped — including clean ones — because the recovery assertions
+// need the uncertainty stream fully scripted: a confident 0 between
+// scheduled faults means no trigger ever fires organically, so every
+// demoted flag in the run is predicted by DemotedAt.
+func (s *RecoverySchedule) WrapGuard(idx uint64, g *core.Guard) {
+	g.Signal = &recoverySignal{inner: g.Signal, plan: s.Plan(idx)}
+}
+
+// recoverySignal pins a session's uncertainty stream to its scripted
+// shape: the scheduled fault at each planned step, a confident 0
+// everywhere else. The step counter counts Observe calls, which equal
+// session steps as long as the session is live or in probation (a
+// permanently latched session stops consulting its guard — the
+// schedule places every fault before any latch, so indices stay
+// aligned).
+type recoverySignal struct {
+	inner core.Signal
+	plan  RecoveryPlan
+	step  int
+	next  int
+}
+
+// Observe implements core.Signal.
+func (r *recoverySignal) Observe([]float64) float64 {
+	step := r.step
+	r.step++
+	if r.next < len(r.plan.Steps) && step >= r.plan.Steps[r.next] {
+		r.next++
+		switch r.plan.Kind {
+		case PanicObserve:
+			panic(fmt.Sprintf("chaos: injected recovery panic at step %d", step))
+		case NaNScore:
+			return math.NaN()
+		case InfScore:
+			return math.Inf(1)
+		}
+	}
+	return 0
+}
+
+// Reset implements core.Signal. Like faultSignal, the step counter
+// keeps running across episodes: faults are scheduled against the
+// session's lifetime.
+func (r *recoverySignal) Reset() { r.inner.Reset() }
+
+// Name implements core.Signal.
+func (r *recoverySignal) Name() string { return r.inner.Name() }
+
+// RecoveryExpectation is the closed-form outcome of a clean -recovery
+// run over the first n created sessions, derived by replaying the
+// probation automaton (DESIGN.md §13) over every session's plan.
+type RecoveryExpectation struct {
+	// FirstDemotions counts sessions that demote at least once
+	// (= the osap_sessions_demoted_total counter).
+	FirstDemotions int
+	// Demotions counts demotion events, first and repeat.
+	Demotions int
+	// Redemotions counts demotions of previously recovered sessions.
+	Redemotions int
+	// Recoveries counts probation re-admissions.
+	Recoveries int
+	// Latched counts sessions whose demotion became permanent (fault
+	// demotions plus cap exhaustion).
+	Latched int
+	// Panics counts injected panics reaching the panic-containment
+	// path; NonFinite counts demotions caused by a non-finite score.
+	Panics    int
+	NonFinite int
+	// EndDemoted counts sessions still demoted when the run ends;
+	// EndProbation is the subset still recoverable (mid-probation).
+	EndDemoted   int
+	EndProbation int
+	// DemotedSteps is the total number of steps answered in degraded
+	// mode across the fleet.
+	DemotedSteps int64
+}
+
+// sessionOutcome is one session's replay tally.
+type sessionOutcome struct {
+	demotions, redemotions, recoveries int
+	latched                            bool
+	panics, nonFinite                  int
+	endDemoted, endProbation           bool
+	demotedSteps                       int
+}
+
+// replay simulates the serve-side probation state machine over the
+// idx-th session's plan: demote on a fault while live (permanently for
+// a panic, or once the re-admission budget is spent), count confident
+// shadow steps while in probation, re-admit after ReadmitL of them.
+// visit, when non-nil, receives every step's demoted flag in order —
+// the exact flag the server must report for that (session, step).
+func (s *RecoverySchedule) replay(idx uint64, visit func(step int, demoted bool)) sessionOutcome {
+	p := s.Plan(idx)
+	l, budget := s.cfg.ReadmitL, s.cfg.ReadmitCap
+	var o sessionOutcome
+	demoted, latch := false, false
+	calm, readmits, k := 0, 0, 0
+	emit := func(step int, d bool) {
+		if d {
+			o.demotedSteps++
+		}
+		if visit != nil {
+			visit(step, d)
+		}
+	}
+	for step := 0; step < s.cfg.Steps; step++ {
+		if demoted && latch {
+			emit(step, true)
+			continue
+		}
+		faultNow := k < len(p.Steps) && step == p.Steps[k]
+		if faultNow {
+			k++
+		}
+		if !demoted {
+			if !faultNow {
+				emit(step, false)
+				continue
+			}
+			demoted, calm = true, 0
+			latch = p.Kind == PanicObserve || l <= 0 || budget == 0 ||
+				(budget > 0 && readmits >= budget)
+			o.demotions++
+			if o.demotions > 1 {
+				o.redemotions++
+			}
+			if p.Kind == PanicObserve {
+				o.panics++
+			} else {
+				o.nonFinite++
+			}
+			if latch {
+				o.latched = true
+			}
+			emit(step, true)
+			continue
+		}
+		// Probation shadow step. A panic here escalates to a permanent
+		// latch; a non-finite score restarts the hysteresis; a confident
+		// step advances it.
+		if faultNow && p.Kind == PanicObserve {
+			latch = true
+			o.latched = true
+			o.panics++
+			emit(step, true)
+			continue
+		}
+		confident := !faultNow
+		if confident {
+			calm++
+		} else {
+			calm = 0
+		}
+		if confident && calm >= l {
+			demoted, latch = false, false
+			readmits++
+			calm = 0
+			o.recoveries++
+			emit(step, false)
+			continue
+		}
+		emit(step, true)
+	}
+	o.endDemoted = demoted
+	o.endProbation = demoted && !latch
+	return o
+}
+
+// DemotedAt predicts the demoted flag the server must report for the
+// idx-th session's step-th decision — the loadgen oracle behind the
+// deterministic-recovery-index assertion.
+func (s *RecoverySchedule) DemotedAt(idx uint64, step int) bool {
+	var flag bool
+	s.replay(idx, func(st int, d bool) {
+		if st == step {
+			flag = d
+		}
+	})
+	return flag
+}
+
+// Expected returns the closed-form aggregate outcome of a clean run
+// over the first n created sessions.
+func (s *RecoverySchedule) Expected(n int) RecoveryExpectation {
+	var ex RecoveryExpectation
+	for i := 0; i < n; i++ {
+		o := s.replay(uint64(i), nil)
+		if o.demotions > 0 {
+			ex.FirstDemotions++
+		}
+		ex.Demotions += o.demotions
+		ex.Redemotions += o.redemotions
+		ex.Recoveries += o.recoveries
+		if o.latched {
+			ex.Latched++
+		}
+		ex.Panics += o.panics
+		ex.NonFinite += o.nonFinite
+		if o.endDemoted {
+			ex.EndDemoted++
+		}
+		if o.endProbation {
+			ex.EndProbation++
+		}
+		ex.DemotedSteps += int64(o.demotedSteps)
+	}
+	return ex
+}

@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+func testRecoverySchedule(t *testing.T) *RecoverySchedule {
+	t.Helper()
+	s, err := NewRecoverySchedule(RecoveryScript(48, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// flags replays one session and returns its full demoted-flag vector.
+func flags(s *RecoverySchedule, idx uint64) []bool {
+	out := make([]bool, s.Config().Steps)
+	s.replay(idx, func(step int, d bool) { out[step] = d })
+	return out
+}
+
+// wantFlags builds a flag vector from half-open demoted ranges.
+func wantFlags(steps int, ranges ...[2]int) []bool {
+	out := make([]bool, steps)
+	for _, r := range ranges {
+		for i := r[0]; i < r[1]; i++ {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func eqFlags(t *testing.T, name string, got, want []bool) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: step %d demoted = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecoveryPatternFlags pins the exact per-step demoted flags of
+// every pattern under the standard config (S=48, l′=4, cap=2): the
+// demotion fires at the fault step, the flag holds for exactly l′
+// steps, and the re-admission serves live at fault+l′.
+func TestRecoveryPatternFlags(t *testing.T) {
+	s := testRecoverySchedule(t)
+	const S = 48
+	eqFlags(t, "clean", flags(s, patClean), wantFlags(S))
+	// NaN@6: demoted 6..9, recovered at 10.
+	eqFlags(t, "recover", flags(s, patRecover), wantFlags(S, [2]int{6, 10}))
+	eqFlags(t, "recover-inf", flags(s, patRecoverIn), wantFlags(S, [2]int{6, 10}))
+	// NaN@6,14,22: two recoveries, then the cap latches at 22.
+	eqFlags(t, "exhaust", flags(s, patExhaust),
+		wantFlags(S, [2]int{6, 10}, [2]int{14, 18}, [2]int{22, S}))
+	// panic@6: permanent from the fault on.
+	eqFlags(t, "panic", flags(s, patPanic), wantFlags(S, [2]int{6, S}))
+	// NaN@46: the run ends mid-probation.
+	eqFlags(t, "tail", flags(s, patTail), wantFlags(S, [2]int{46, S}))
+}
+
+// TestRecoveryExpectedTotals checks the closed-form aggregates over a
+// whole number of pattern cycles.
+func TestRecoveryExpectedTotals(t *testing.T) {
+	s := testRecoverySchedule(t)
+	const cycles = 10
+	ex := s.Expected(cycles * recoveryPatterns)
+	want := RecoveryExpectation{
+		FirstDemotions: 5 * cycles, // every pattern but clean
+		Demotions:      (1 + 3 + 1 + 1 + 1) * cycles,
+		Redemotions:    2 * cycles, // exhaust re-demotes twice
+		Recoveries:     (1 + 2 + 1) * cycles,
+		Latched:        2 * cycles, // exhaust + panic
+		Panics:         cycles,
+		NonFinite:      (1 + 3 + 1 + 1) * cycles,
+		EndDemoted:     3 * cycles, // exhaust, panic, tail
+		EndProbation:   cycles,     // tail only
+		DemotedSteps:   (4 + 34 + 42 + 4 + 2) * cycles,
+	}
+	if ex != want {
+		t.Fatalf("Expected(%d) = %+v, want %+v", cycles*recoveryPatterns, ex, want)
+	}
+}
+
+// TestRecoveryDemotedAtMatchesReplay cross-checks the per-step oracle
+// against the replay vectors for every pattern.
+func TestRecoveryDemotedAtMatchesReplay(t *testing.T) {
+	s := testRecoverySchedule(t)
+	for idx := uint64(0); idx < recoveryPatterns; idx++ {
+		fs := flags(s, idx)
+		for step, want := range fs {
+			if got := s.DemotedAt(idx, step); got != want {
+				t.Fatalf("DemotedAt(%d, %d) = %v, want %v", idx, step, got, want)
+			}
+		}
+	}
+}
+
+// TestRecoverySignalScript checks the wrapper: a confident 0 on every
+// unscheduled step, the scripted non-finite value at each fault step,
+// and a panic for the panic kind.
+func TestRecoverySignalScript(t *testing.T) {
+	sig := &recoverySignal{inner: constSignal{0.5}, plan: RecoveryPlan{Kind: NaNScore, Steps: []int{2, 5}}}
+	wantNaN := map[int]bool{2: true, 5: true}
+	for step := 0; step < 8; step++ {
+		v := sig.Observe(nil)
+		if wantNaN[step] {
+			if !math.IsNaN(v) {
+				t.Fatalf("step %d: score %v, want NaN", step, v)
+			}
+		} else if v != 0 {
+			t.Fatalf("step %d: score %v, want confident 0 (never the inner signal)", step, v)
+		}
+	}
+	if sig.Name() != "const" {
+		t.Fatalf("wrapper changed signal name to %q", sig.Name())
+	}
+
+	inf := &recoverySignal{inner: constSignal{0}, plan: RecoveryPlan{Kind: InfScore, Steps: []int{0}}}
+	if v := inf.Observe(nil); !math.IsInf(v, 1) {
+		t.Fatalf("inf fault score = %v", v)
+	}
+
+	pan := &recoverySignal{inner: constSignal{0}, plan: RecoveryPlan{Kind: PanicObserve, Steps: []int{0}}}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic kind did not panic")
+			}
+		}()
+		pan.Observe(nil)
+	}()
+}
+
+func TestRecoveryConfigValidate(t *testing.T) {
+	bad := []RecoveryConfig{
+		{Steps: 48, ReadmitL: 1, ReadmitCap: 2}, // tail pattern cannot end in probation
+		{Steps: 48, ReadmitL: 4, ReadmitCap: 0}, // chain pattern needs a re-admission
+		{Steps: 20, ReadmitL: 4, ReadmitCap: 2}, // chain does not fit
+	}
+	for i, cfg := range bad {
+		if _, err := NewRecoverySchedule(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// RecoveryScript raises an undersized budget to the minimum.
+	c := RecoveryScript(8, 4, 2)
+	if err := c.Validate(); err != nil {
+		t.Errorf("RecoveryScript(8, 4, 2) invalid: %v", err)
+	}
+}
+
+// TestRecoveryFaultsPrecedeLatch checks the alignment invariant the
+// signal wrapper depends on: every scheduled fault fires while the
+// session still consults its guard (live or probation), never after a
+// permanent latch stopped the Observe stream.
+func TestRecoveryFaultsPrecedeLatch(t *testing.T) {
+	s := testRecoverySchedule(t)
+	for idx := uint64(0); idx < recoveryPatterns; idx++ {
+		p := s.Plan(idx)
+		if p.Clean() {
+			continue
+		}
+		last := p.Steps[len(p.Steps)-1]
+		fs := flags(s, idx)
+		// Before the last fault there must be no latched run: a latched
+		// session never flips back, so check no demoted stretch before
+		// `last` extends to the end of the episode.
+		for start := 0; start < last; start++ {
+			if !fs[start] {
+				continue
+			}
+			end := start
+			for end < len(fs) && fs[end] {
+				end++
+			}
+			if end == len(fs) && last > start {
+				t.Fatalf("pattern %d: fault at %d scheduled inside a permanent latch starting at %d", idx, last, start)
+			}
+			start = end
+		}
+	}
+}

@@ -54,8 +54,10 @@ type Decision struct {
 	// UsedDefault reports whether the default policy produced Probs.
 	UsedDefault bool
 	// Fired reports whether the trigger has fired at least once this
-	// episode (with a latched trigger this stays true after the first
-	// firing, so UsedDefault == Fired; unlatched triggers can recover).
+	// episode (with a latched trigger and no probation this stays true
+	// after the first firing, so UsedDefault == Fired; unlatched
+	// triggers and latched triggers under probation can recover, after
+	// which Fired stays true while UsedDefault clears).
 	Fired bool
 	// Step is the 0-based index of this decision within the episode.
 	Step int
@@ -176,6 +178,22 @@ func (g *Guard) DefaultedFraction() float64 {
 // SwitchStep returns the step at which the guard first defaulted, or -1.
 func (g *Guard) SwitchStep() int { return g.Trigger.FiredAtStep() }
 
+// Readmitter is the optional Triggerer extension for probation-capable
+// triggers (DESIGN.md §13): the number of times the latch released
+// this episode.
+type Readmitter interface {
+	Readmissions() int
+}
+
+// Readmissions returns how many times the trigger re-admitted the
+// learned policy this episode, or 0 for triggers without probation.
+func (g *Guard) Readmissions() int {
+	if r, ok := g.Trigger.(Readmitter); ok {
+		return r.Readmissions()
+	}
+	return 0
+}
+
 // Scores returns the recorded per-step scores (empty unless RecordScores
 // was enabled).
 func (g *Guard) Scores() []float64 { return g.scores }
@@ -187,6 +205,7 @@ type EpisodeResult struct {
 	DefaultedSteps    int
 	SwitchStep        int // -1 if the guard never fired
 	DefaultedFraction float64
+	Readmissions      int // probation re-admissions (0 without probation)
 }
 
 // EvaluateGuard runs episodes of the guarded policy, resetting the guard
@@ -202,6 +221,7 @@ func EvaluateGuard(env mdp.Env, g *Guard, rng *stats.RNG, episodes int) []Episod
 			DefaultedSteps:    g.DefaultedSteps(),
 			SwitchStep:        g.SwitchStep(),
 			DefaultedFraction: g.DefaultedFraction(),
+			Readmissions:      g.Readmissions(),
 		}
 	}
 	return out

@@ -29,6 +29,26 @@ type TriggerConfig struct {
 	// false, the system returns to the learned policy as soon as the
 	// uncertain streak breaks (an extension explored in the ablations).
 	Latched bool
+	// ReadmitL is the hysteresis length l′ of the probation extension
+	// (Neural Simplex reverse switching, PAPERS.md): a latched trigger
+	// re-admits the learned policy after ReadmitL consecutive confident
+	// (not-uncertain) steps while fired. 0 disables probation — the
+	// latch is final for the episode, the paper's behavior. Ignored
+	// when Latched is false. Choose ReadmitL > L so re-admission needs
+	// strictly more evidence than firing did.
+	ReadmitL int
+	// ReadmitCap bounds re-admissions per episode before the latch
+	// becomes permanent: after ReadmitCap recoveries the next firing
+	// latches for good. 0 means no re-admissions (paper behavior even
+	// when ReadmitL > 0); negative means unlimited.
+	ReadmitCap int
+}
+
+// Probation reports whether the configuration enables re-admission of
+// a latched trigger: latched, a positive hysteresis length, and a
+// non-zero re-admission budget.
+func (c TriggerConfig) Probation() bool {
+	return c.Latched && c.ReadmitL > 0 && c.ReadmitCap != 0
 }
 
 // StateTriggerConfig returns the paper's U_S trigger: default after
@@ -52,19 +72,32 @@ func (c TriggerConfig) Validate() error {
 	if c.UseVariance && c.K < 2 {
 		return fmt.Errorf("core: variance trigger needs K ≥ 2, got %d", c.K)
 	}
+	if c.ReadmitL < 0 {
+		return fmt.Errorf("core: trigger ReadmitL %d < 0", c.ReadmitL)
+	}
+	if c.ReadmitL > 0 && !c.Latched {
+		return fmt.Errorf("core: trigger ReadmitL %d requires Latched (unlatched triggers already recover)", c.ReadmitL)
+	}
 	return nil
 }
 
 // Trigger is the per-episode state machine applying a TriggerConfig.
 type Trigger struct {
-	cfg    TriggerConfig
-	win    *stats.RollingWindow
-	streak int
-	fired  bool
-	steps  int
+	cfg     TriggerConfig
+	win     *stats.RollingWindow
+	streak  int
+	fired   bool
+	latched bool // currently holding the default policy (latched configs)
+	calm    int  // consecutive confident steps while latched (probation)
+	steps   int
+	// readmits counts re-admissions granted this episode.
+	readmits int
 	// FiredAt is the step index at which the trigger first fired (-1 if
 	// it has not).
 	FiredAt int
+	// ReadmittedAt is the step index of the most recent re-admission
+	// (-1 if the trigger has never re-admitted this episode).
+	ReadmittedAt int
 }
 
 // NewTrigger builds a trigger; it panics on an invalid configuration
@@ -73,7 +106,7 @@ func NewTrigger(cfg TriggerConfig) *Trigger {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	t := &Trigger{cfg: cfg, FiredAt: -1}
+	t := &Trigger{cfg: cfg, FiredAt: -1, ReadmittedAt: -1}
 	if cfg.UseVariance {
 		t.win = stats.NewRollingWindow(cfg.K)
 	}
@@ -83,6 +116,14 @@ func NewTrigger(cfg TriggerConfig) *Trigger {
 // Step ingests one uncertainty score and reports whether the system
 // should use the default policy for this step.
 //
+// With a latched config the latch is final for the episode (the
+// paper's §2.5 behavior) unless probation is enabled (Probation):
+// then the signal keeps scoring in shadow while the default policy
+// acts, and the latch releases after ReadmitL consecutive confident
+// steps — at most ReadmitCap times per episode, after which the latch
+// is permanent. With probation disabled the step sequence is
+// bit-identical to the pre-probation trigger.
+//
 //osap:hotpath
 func (t *Trigger) Step(score float64) bool {
 	uncertain := false
@@ -91,6 +132,32 @@ func (t *Trigger) Step(score float64) bool {
 		uncertain = t.win.Full() && t.win.Variance() > t.cfg.Threshold
 	} else {
 		uncertain = score > t.cfg.Threshold
+	}
+	if t.latched {
+		// Holding the default policy. Under probation, count confident
+		// steps toward re-admission; an uncertain step restarts the
+		// hysteresis from zero.
+		t.steps++
+		if !t.cfg.Probation() || (t.cfg.ReadmitCap >= 0 && t.readmits >= t.cfg.ReadmitCap) {
+			return true
+		}
+		if uncertain {
+			t.streak++
+			t.calm = 0
+			return true
+		}
+		t.streak = 0
+		t.calm++
+		if t.calm < t.cfg.ReadmitL {
+			return true
+		}
+		// Hysteresis satisfied: re-admit the learned policy, serving it
+		// from this step on.
+		t.latched = false
+		t.readmits++
+		t.calm = 0
+		t.ReadmittedAt = t.steps - 1
+		return false
 	}
 	if uncertain {
 		t.streak++
@@ -102,23 +169,45 @@ func (t *Trigger) Step(score float64) bool {
 		t.fired = true
 		t.FiredAt = t.steps
 	}
+	if active && t.cfg.Latched {
+		t.latched = true
+		t.calm = 0
+	}
 	t.steps++
 	if t.cfg.Latched {
-		return t.fired
+		return t.latched
 	}
 	return active
 }
 
 // Fired reports whether the trigger has fired at least once this
-// episode.
+// episode (monotone: re-admission does not clear it).
 func (t *Trigger) Fired() bool { return t.fired }
+
+// Latched reports whether the trigger currently holds the default
+// policy. For latched configs without probation this equals Fired;
+// under probation it clears on re-admission and sets again on
+// re-firing.
+func (t *Trigger) Latched() bool { return t.latched }
+
+// Readmissions returns how many times the latch released this episode.
+func (t *Trigger) Readmissions() int { return t.readmits }
+
+// CalmStreak returns the current count of consecutive confident steps
+// while latched — the probation hysteresis progress (0 unless latched
+// under an enabled probation config).
+func (t *Trigger) CalmStreak() int { return t.calm }
 
 // Reset starts a new episode.
 func (t *Trigger) Reset() {
 	t.streak = 0
 	t.fired = false
+	t.latched = false
+	t.calm = 0
 	t.steps = 0
+	t.readmits = 0
 	t.FiredAt = -1
+	t.ReadmittedAt = -1
 	if t.win != nil {
 		t.win.Reset()
 	}

@@ -101,6 +101,35 @@ func TestExtensionTriggers(t *testing.T) {
 	}
 }
 
+func TestExtensionRecovery(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.ExtensionRecovery("gamma22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tests) != 5 {
+		t.Fatalf("tests = %v", res.Tests)
+	}
+	for _, v := range RecoveryVariantNames() {
+		if res.Params[v] <= 0 {
+			t.Errorf("variant %q not calibrated: %v", v, res.Params[v])
+		}
+		if len(res.Norm[v]) != 5 || len(res.Defaulted[v]) != 5 || len(res.Readmits[v]) != 5 {
+			t.Errorf("variant %q incomplete", v)
+		}
+	}
+	// The latched variant is the paper's permanent latch: no probation,
+	// so it must never record a re-admission.
+	for te, n := range res.Readmits["Latched"] {
+		if n != 0 {
+			t.Errorf("Latched variant re-admitted %.2f times on %s, want 0", n, te)
+		}
+	}
+	if !strings.Contains(res.Render(), "probation re-admission") {
+		t.Error("render missing header")
+	}
+}
+
 func TestOracleHeadroom(t *testing.T) {
 	l := quickLab(t)
 	res, err := l.OracleHeadroom("gamma22", 2)

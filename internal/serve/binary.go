@@ -349,7 +349,10 @@ func (s *Server) binWorker(bs *binSession, out chan binMsg, done chan struct{}) 
 		// "step already in flight" rejection.
 		if cmd.typ == proto.TypeReset {
 			s.opGate.RLock()
-			err := bs.sess.Reset(s.cfg.Now()) //osap:hotpath-stop Reset is per-episode, not per-step; the clock seam is injected for tests
+			rout, err := bs.sess.Reset(s.cfg.Now()) //osap:hotpath-stop Reset is per-episode, not per-step; the clock seam is injected for tests
+			if err == nil {
+				s.noteResetOutcome(rout)
+			}
 			s.opGate.RUnlock()
 			bs.busy.Store(false)
 			if err != nil {

@@ -46,16 +46,22 @@ func summarizeSketch(sk *sketch.Sketch) driftQuantiles {
 
 // dashboardVersion is one generation's row in the dashboard document.
 type dashboardVersion struct {
-	Version      string                    `json:"version"`
-	Checksum     string                    `json:"checksum,omitempty"`
-	Role         string                    `json:"role"` // active | candidate | retired
-	Sessions     uint64                    `json:"sessions_total"`
-	SessionsLive int64                     `json:"sessions_live"`
-	Decisions    uint64                    `json:"decisions_total"`
-	Fallbacks    uint64                    `json:"fallbacks_total"`
-	Demotions    uint64                    `json:"demotions_total"`
-	Degraded     uint64                    `json:"degraded_steps_total"`
-	FallbackRate float64                   `json:"fallback_rate"`
+	Version      string  `json:"version"`
+	Checksum     string  `json:"checksum,omitempty"`
+	Role         string  `json:"role"` // active | candidate | retired
+	Sessions     uint64  `json:"sessions_total"`
+	SessionsLive int64   `json:"sessions_live"`
+	Decisions    uint64  `json:"decisions_total"`
+	Fallbacks    uint64  `json:"fallbacks_total"`
+	Demotions    uint64  `json:"demotions_total"`
+	Degraded     uint64  `json:"degraded_steps_total"`
+	Recovered    uint64  `json:"recovered_total"`
+	Redemoted    uint64  `json:"redemoted_total"`
+	Latched      uint64  `json:"latched_total"`
+	FallbackRate float64 `json:"fallback_rate"`
+	// DemotionRate is permanent latches per session — the rate the
+	// rollout controller judges; probation-recovered excursions are
+	// excluded (DESIGN.md §13).
 	DemotionRate float64                   `json:"demotion_rate"`
 	LatencyP50Us float64                   `json:"latency_p50_us"`
 	LatencyP99Us float64                   `json:"latency_p99_us"`
@@ -74,6 +80,9 @@ func (s *Server) versionRow(g *Generation, role string) dashboardVersion {
 		Fallbacks:    st.Fallbacks.Load(),
 		Demotions:    st.Demotions.Load(),
 		Degraded:     st.Degraded.Load(),
+		Recovered:    st.Recovered.Load(),
+		Redemoted:    st.Redemoted.Load(),
+		Latched:      st.Latched.Load(),
 		LatencyP50Us: st.Latency.Quantile(0.50) * 1e6,
 		LatencyP99Us: st.Latency.Quantile(0.99) * 1e6,
 		Drift:        make(map[string]driftQuantiles, driftSignals),
@@ -82,7 +91,7 @@ func (s *Server) versionRow(g *Generation, role string) dashboardVersion {
 		row.FallbackRate = float64(row.Fallbacks) / float64(row.Decisions)
 	}
 	if row.Sessions > 0 {
-		row.DemotionRate = float64(row.Demotions) / float64(row.Sessions)
+		row.DemotionRate = float64(row.Latched) / float64(row.Sessions)
 	}
 	for sig := 0; sig < driftSignals; sig++ {
 		row.Drift[driftSignalNames[sig]] = summarizeSketch(g.drift.Merged(sig))
@@ -301,10 +310,16 @@ func (s *Server) writeExtendedProm(w io.Writer) {
 		func(g *Generation) uint64 { return g.stats.Decisions.Load() })
 	family("osap_version_fallbacks_total", "Default-policy decisions per artifact version.", "counter",
 		func(g *Generation) uint64 { return g.stats.Fallbacks.Load() })
-	family("osap_version_demotions_total", "Sessions demoted per artifact version.", "counter",
+	family("osap_version_demotions_total", "Demotion events per artifact version.", "counter",
 		func(g *Generation) uint64 { return g.stats.Demotions.Load() })
 	family("osap_version_degraded_steps_total", "Degraded-mode steps per artifact version.", "counter",
 		func(g *Generation) uint64 { return g.stats.Degraded.Load() })
+	family("osap_version_recovered_total", "Probation re-admissions per artifact version.", "counter",
+		func(g *Generation) uint64 { return g.stats.Recovered.Load() })
+	family("osap_version_redemoted_total", "Repeat demotions per artifact version.", "counter",
+		func(g *Generation) uint64 { return g.stats.Redemoted.Load() })
+	family("osap_version_latched_total", "Permanently latched demotions per artifact version.", "counter",
+		func(g *Generation) uint64 { return g.stats.Latched.Load() })
 
 	fmt.Fprintf(w, "# HELP osap_drift_score Guard-score quantiles per version and signal (merged t-digest).\n")
 	fmt.Fprintf(w, "# TYPE osap_drift_score gauge\n")

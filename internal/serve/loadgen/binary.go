@@ -346,6 +346,7 @@ func (c *client) stepBinary(ctx context.Context) bool {
 				c.dropped++
 				return false
 			}
+			stepIdx := c.stepsOK
 			c.stepsOK++
 			c.latencies = append(c.latencies, lat)
 			fallback := d.Flags&proto.FlagFallback != 0
@@ -353,13 +354,7 @@ func (c *client) stepBinary(ctx context.Context) bool {
 			if fallback {
 				c.fallbacks++
 			}
-			if c.demoted && (!demoted || !fallback) {
-				c.violations++
-			}
-			if demoted {
-				c.demoted = true
-				c.demotedSteps++
-			}
+			c.noteStepFlags(demoted, fallback, stepIdx)
 			next, _, done := c.env.Step(int(d.Action))
 			if done {
 				c.obs = c.env.Reset(c.rng)

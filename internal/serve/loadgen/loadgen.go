@@ -77,6 +77,20 @@ type Config struct {
 	// serialized; the slice is owned by the callee. Used by the rollout
 	// selftest to build a sequential drift reference per version.
 	ScoreSink func(version string, scores []float64)
+	// Probation relaxes the demotion-permanence contract check: the
+	// server runs with probation enabled, so a demoted session's flag
+	// may flip off (recovery) and on again (re-demotion). Transitions
+	// are tallied in Result instead of counted as violations; degraded
+	// steps must still come from the safe policy.
+	Probation bool
+	// ExpectDemoted, when non-nil (requires Probation), is the
+	// closed-form oracle for the demoted flag: it is consulted after
+	// every successful step with the session's 0-based creation index
+	// (parsed from the session ID) and the 0-based step index, and any
+	// disagreement with the server's reported flag counts as a
+	// FlagMismatch. This is the deterministic-recovery-index assertion
+	// of the -recovery chaos harness.
+	ExpectDemoted func(sessionIdx uint64, step int) bool
 }
 
 // Backoff shapes the retry schedule for rejected requests: attempt n
@@ -111,8 +125,20 @@ type Result struct {
 	SessionsDemoted  int64 // clients that observed their session demote
 	// DemotionViolations counts steps where a session that had reported
 	// demoted later served a learned or non-demoted decision. Demotion
-	// is permanent by contract, so this must be 0.
+	// is permanent by contract, so this must be 0. Under Probation the
+	// flag may legitimately flip; the violation then is a degraded step
+	// not served by the safe policy.
 	DemotionViolations int64
+	// Probation-mode recovery stats, tallied from demoted-flag flips:
+	// Recoveries counts demoted→live transitions, Redemotions counts
+	// repeat live→demoted transitions, SessionsEndDemoted counts
+	// sessions whose final step was still demoted, and FlagMismatches
+	// counts steps whose demoted flag contradicted Config.ExpectDemoted
+	// (must be 0 in a clean -recovery run).
+	Recoveries         int64
+	Redemotions        int64
+	SessionsEndDemoted int64
+	FlagMismatches     int64
 	Elapsed            time.Duration
 	// VersionCounts tallies sessions by the artifact version reported at
 	// creation (HTTP protocol only; the binary Opened frame carries no
@@ -179,6 +205,12 @@ type client struct {
 	demotedSteps int64
 	violations   int64
 	demoted      bool
+	everDemoted  bool
+	recoveries   int64
+	redemotions  int64
+	mismatches   int64
+	sessIdx      uint64
+	sessIdxOK    bool
 	version      string
 	scores       []float64
 	latencies    []time.Duration
@@ -352,21 +384,14 @@ func (c *client) stepHTTP(ctx context.Context) (ok bool) {
 		c.dropped++
 		return false
 	}
+	stepIdx := c.stepsOK
 	c.stepsOK++
 	c.latencies = append(c.latencies, lat)
 	if sr.Fallback {
 		c.fallbacks++
 	}
-	// Demotion is permanent by contract: once the server reports this
-	// session demoted, every later decision must still be demoted and
-	// from the safe policy.
-	if c.demoted && (!sr.Demoted || !sr.Fallback) {
-		c.violations++
-	}
-	if sr.Demoted {
-		c.demoted = true
-		c.demotedSteps++
-	} else if c.cfg.ScoreSink != nil {
+	c.noteStepFlags(sr.Demoted, sr.Fallback, stepIdx)
+	if !sr.Demoted && c.cfg.ScoreSink != nil {
 		c.scores = append(c.scores, sr.Score)
 	}
 	next, _, done := c.env.Step(sr.Action)
@@ -376,6 +401,64 @@ func (c *client) stepHTTP(ctx context.Context) (ok bool) {
 		c.obs = next
 	}
 	return true
+}
+
+// noteStepFlags applies the demotion-contract bookkeeping shared by
+// both transports to one successful step's demoted/fallback flags.
+//
+// Without Probation, demotion is permanent by contract: once the
+// server reports this session demoted, every later decision must still
+// be demoted and from the safe policy. With Probation the flag may
+// flip — off at a re-admission, on again at a re-demotion — so the
+// transitions become the recovery tallies, the remaining invariant is
+// that degraded steps come from the safe policy, and (when configured)
+// every flag value is checked against the ExpectDemoted oracle.
+func (c *client) noteStepFlags(demoted, fallback bool, stepIdx int64) {
+	if !c.cfg.Probation {
+		if c.demoted && (!demoted || !fallback) {
+			c.violations++
+		}
+		if demoted {
+			c.demoted = true
+			c.everDemoted = true
+			c.demotedSteps++
+		}
+		return
+	}
+	if demoted && !fallback {
+		c.violations++
+	}
+	switch {
+	case demoted && !c.demoted:
+		if c.everDemoted {
+			c.redemotions++
+		}
+		c.everDemoted = true
+	case !demoted && c.demoted:
+		c.recoveries++
+	}
+	if demoted {
+		c.demotedSteps++
+	}
+	if c.cfg.ExpectDemoted != nil && c.sessIdxOK &&
+		demoted != c.cfg.ExpectDemoted(c.sessIdx, int(stepIdx)) {
+		c.mismatches++
+	}
+	c.demoted = demoted
+}
+
+// sessionIndex recovers the 0-based creation index from a server
+// session ID ("salt-idx" with idx the hex creation counter from 1).
+func sessionIndex(id string) (uint64, bool) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(id[i+1:], 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v - 1, true
 }
 
 func drainBody(resp *http.Response) {
@@ -487,6 +570,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				return
 			}
 			created.Add(1)
+			if cfg.ExpectDemoted != nil {
+				c.sessIdx, c.sessIdxOK = sessionIndex(c.sessionID)
+				if !c.sessIdxOK {
+					c.mismatches++ // oracle unusable: surface it, don't skip silently
+				}
+			}
 			abort := 0
 			if cfg.AbortStep != nil {
 				abort = cfg.AbortStep(i)
@@ -510,8 +599,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			res.Retries += c.retries
 			res.StepsDemoted += c.demotedSteps
 			res.DemotionViolations += c.violations
-			if c.demoted {
+			res.Recoveries += c.recoveries
+			res.Redemotions += c.redemotions
+			res.FlagMismatches += c.mismatches
+			if c.everDemoted {
 				res.SessionsDemoted++
+			}
+			if c.demoted {
+				res.SessionsEndDemoted++
 			}
 			if c.version != "" {
 				if res.VersionCounts == nil {

@@ -109,10 +109,18 @@ type Metrics struct {
 	Fallbacks        atomic.Uint64 // steps acted by the default policy
 	TriggerFirings   atomic.Uint64 // sessions whose trigger first fired
 	DrainRejected    atomic.Uint64 // requests refused while draining
-	SessionsDemoted  atomic.Uint64 // sessions demoted to degraded mode
-	PanicsRecovered  atomic.Uint64 // demotions caused by a recovered panic
+	SessionsDemoted  atomic.Uint64 // sessions first demoted to degraded mode
+	PanicsRecovered  atomic.Uint64 // recovered inference panics
 	NonFiniteScores  atomic.Uint64 // demotions caused by a NaN/Inf score
 	DegradedSteps    atomic.Uint64 // steps served by demoted sessions
+
+	// Probation accounting (DESIGN.md §13): re-admissions of demoted
+	// sessions, repeat demotions of previously demoted sessions, and
+	// demotions that latched permanently (fault, probation off, or
+	// re-admission cap spent).
+	SessionsRecovered atomic.Uint64
+	SessionsRedemoted atomic.Uint64
+	SessionsLatched   atomic.Uint64
 
 	// Micro-batching instrumentation (see batch.go). QueueLatency is
 	// enqueue→flush-start, DecisionLatency is flush-start→completion —
@@ -159,9 +167,9 @@ func promFloat(v float64) string {
 }
 
 // WriteProm renders all metrics in Prometheus text exposition format.
-// liveSessions and demotedLive are passed in because the session table
-// and server own those gauges.
-func (m *Metrics) WriteProm(w io.Writer, liveSessions, demotedLive int) error {
+// liveSessions, demotedLive and probationLive are passed in because
+// the session table and server own those gauges.
+func (m *Metrics) WriteProm(w io.Writer, liveSessions, demotedLive, probationLive int) error {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -169,6 +177,8 @@ func (m *Metrics) WriteProm(w io.Writer, liveSessions, demotedLive int) error {
 	fmt.Fprintf(w, "# TYPE osap_sessions_live gauge\nosap_sessions_live %d\n", liveSessions)
 	fmt.Fprintf(w, "# HELP osap_sessions_demoted_live Live sessions serving in degraded mode.\n")
 	fmt.Fprintf(w, "# TYPE osap_sessions_demoted_live gauge\nosap_sessions_demoted_live %d\n", demotedLive)
+	fmt.Fprintf(w, "# HELP osap_sessions_probation_live Live demoted sessions still recoverable (shadow scoring).\n")
+	fmt.Fprintf(w, "# TYPE osap_sessions_probation_live gauge\nosap_sessions_probation_live %d\n", probationLive)
 
 	counter("osap_sessions_created_total", "Sessions admitted.", m.SessionsCreated.Load())
 	counter("osap_sessions_rejected_total", "Sessions refused by admission control.", m.SessionsRejected.Load())
@@ -183,6 +193,9 @@ func (m *Metrics) WriteProm(w io.Writer, liveSessions, demotedLive int) error {
 	counter("osap_step_panics_recovered_total", "Inference panics recovered during steps.", m.PanicsRecovered.Load())
 	counter("osap_step_nonfinite_total", "Steps whose guard produced a non-finite result.", m.NonFiniteScores.Load())
 	counter("osap_decisions_degraded_total", "Decisions served by demoted sessions.", m.DegradedSteps.Load())
+	counter("osap_sessions_recovered_total", "Probation re-admissions of demoted sessions.", m.SessionsRecovered.Load())
+	counter("osap_sessions_redemoted_total", "Repeat demotions of previously demoted sessions.", m.SessionsRedemoted.Load())
+	counter("osap_sessions_latched_total", "Demotions latched permanently (fault or cap spent).", m.SessionsLatched.Load())
 
 	hist := func(name, help string, h *Histogram) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)

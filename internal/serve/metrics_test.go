@@ -63,7 +63,7 @@ func TestWritePromParsesAsPrometheusText(t *testing.T) {
 	m.Latency("create").Observe(3e-3)
 
 	var b strings.Builder
-	if err := m.WriteProm(&b, 42, 3); err != nil {
+	if err := m.WriteProm(&b, 42, 3, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

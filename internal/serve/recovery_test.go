@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"osap/internal/abr"
+	"osap/internal/core"
+	"osap/internal/stats"
+)
+
+// scriptedSignal pins the uncertainty stream to a script: a confident 0
+// on every step except the scheduled NaN faults and panics. Unlike
+// overrideSignal it never consults the wrapped guard's real signal, so
+// session-level state transitions are exactly the scheduled ones.
+type scriptedSignal struct {
+	nanAt   map[int]bool
+	panicAt map[int]bool
+	step    int
+}
+
+func (s *scriptedSignal) Observe([]float64) float64 {
+	step := s.step
+	s.step++
+	if s.panicAt[step] {
+		panic("test: scripted panic")
+	}
+	if s.nanAt[step] {
+		return math.NaN()
+	}
+	return 0
+}
+
+func (s *scriptedSignal) Reset()       {}
+func (s *scriptedSignal) Name() string { return "scripted" }
+
+// overrideSignal delegates every observation to the real signal —
+// keeping its internal state bit-identical to an unwrapped run — but
+// overrides the returned score at scripted steps. The seam for the
+// equivalence test: the wrapped guard sees every observation a fresh
+// guard would.
+type overrideSignal struct {
+	inner core.Signal
+	over  map[int]float64
+	step  int
+}
+
+func (o *overrideSignal) Observe(obs []float64) float64 {
+	v := o.inner.Observe(obs)
+	if s, ok := o.over[o.step]; ok {
+		v = s
+	}
+	o.step++
+	return v
+}
+
+func (o *overrideSignal) Reset()       { o.inner.Reset() }
+func (o *overrideSignal) Name() string { return o.inner.Name() }
+
+// probationSession builds a session whose probation knobs are set and
+// whose uncertainty stream follows the given script.
+func probationSession(t *testing.T, readmitL, readmitCap int, nanAt, panicAt map[int]bool) *Session {
+	t.Helper()
+	f, err := NewGuardFactory(sharedArtifacts(t), GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.NewGuard(SchemeND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Signal = &scriptedSignal{nanAt: nanAt, panicAt: panicAt}
+	s := newSession("probation", SchemeND, g, time.Now())
+	s.readmitL = readmitL
+	s.readmitCap = readmitCap
+	return s
+}
+
+// stepFlags drives the session n steps and returns every StepResult.
+func stepFlags(t *testing.T, s *Session, n int) []StepResult {
+	t.Helper()
+	obs := make([]float64, abr.ObsDim)
+	out := make([]StepResult, n)
+	for i := range out {
+		res, err := s.Step(obs, time.Now())
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// TestShadowRecoveryIndex pins the deterministic geometry of probation
+// (DESIGN.md §13): a demotion at step f keeps the demoted flag on for
+// exactly readmitL steps — f .. f+readmitL-1 — and the re-admission at
+// f+readmitL serves the shadow decision live. A second fault re-demotes
+// with Redemotion set; under a spent cap it latches permanently instead.
+func TestShadowRecoveryIndex(t *testing.T) {
+	const l = 4
+	t.Run("recover-then-redemote", func(t *testing.T) {
+		s := probationSession(t, l, 2, map[int]bool{6: true, 14: true}, nil)
+		res := stepFlags(t, s, 24)
+		for i, r := range res {
+			wantDem := (i >= 6 && i < 10) || (i >= 14 && i < 18)
+			if r.Demoted != wantDem {
+				t.Fatalf("step %d: Demoted = %v, want %v", i, r.Demoted, wantDem)
+			}
+			if got, want := r.Recovered, i == 10 || i == 18; got != want {
+				t.Fatalf("step %d: Recovered = %v, want %v", i, got, want)
+			}
+			if got, want := r.Probation, wantDem; got != want {
+				t.Fatalf("step %d: Probation = %v, want %v", i, got, want)
+			}
+			if r.Latched {
+				t.Fatalf("step %d: Latched under an unspent cap", i)
+			}
+			if r.Demoted && !r.Decision.UsedDefault {
+				t.Fatalf("step %d: degraded step not served by the safe policy", i)
+			}
+		}
+		if !res[6].FirstDemotion || !res[6].Demotion || res[6].Redemotion {
+			t.Fatalf("step 6 = %+v, want the first demotion", res[6])
+		}
+		if res[14].FirstDemotion || !res[14].Demotion || !res[14].Redemotion {
+			t.Fatalf("step 14 = %+v, want a re-demotion", res[14])
+		}
+		if info := s.Snapshot(time.Now()); info.Recovered != 2 || info.Demoted {
+			t.Fatalf("end snapshot = %+v, want 2 re-admissions and live", info)
+		}
+	})
+	t.Run("cap-exhaustion-latches", func(t *testing.T) {
+		s := probationSession(t, l, 1, map[int]bool{6: true, 14: true}, nil)
+		res := stepFlags(t, s, 24)
+		for i, r := range res {
+			wantDem := (i >= 6 && i < 10) || i >= 14
+			if r.Demoted != wantDem {
+				t.Fatalf("step %d: Demoted = %v, want %v", i, r.Demoted, wantDem)
+			}
+			if got, want := r.Probation, i >= 6 && i < 10; got != want {
+				t.Fatalf("step %d: Probation = %v, want %v", i, got, want)
+			}
+		}
+		if !res[14].Latched || !res[14].Redemotion {
+			t.Fatalf("step 14 = %+v, want a permanently latching re-demotion", res[14])
+		}
+		if dem, prob := s.DemotionState(); !dem || prob {
+			t.Fatalf("DemotionState = (%v, %v), want latched (true, false)", dem, prob)
+		}
+	})
+	t.Run("shadow-panic-escalates", func(t *testing.T) {
+		s := probationSession(t, l, 2, map[int]bool{6: true}, map[int]bool{8: true})
+		res := stepFlags(t, s, 16)
+		for i, r := range res {
+			if got, want := r.Demoted, i >= 6; got != want {
+				t.Fatalf("step %d: Demoted = %v, want %v", i, got, want)
+			}
+			if got, want := r.Probation, i == 6 || i == 7; got != want {
+				t.Fatalf("step %d: Probation = %v, want %v", i, got, want)
+			}
+			if got, want := r.Latched, i == 8; got != want {
+				t.Fatalf("step %d: Latched = %v, want %v", i, got, want)
+			}
+			if i == 8 && (!r.PanicRecovered || r.Demotion) {
+				t.Fatalf("step 8 = %+v, want a panic escalation, not a fresh demotion", res[8])
+			}
+		}
+		if info := s.Snapshot(time.Now()); !info.Latched || info.Probation {
+			t.Fatalf("end snapshot = %+v, want permanently latched", info)
+		}
+	})
+}
+
+// TestSessionResetDemotionContract pins the Reset demotion contract
+// (DESIGN.md §13): a fault demotion survives reset — the panic indicts
+// the inference stack, not the episode — while an uncertainty demotion
+// clears, whether still in probation or already cap-latched, and the
+// re-admission budget refills.
+func TestSessionResetDemotionContract(t *testing.T) {
+	t.Run("uncertainty-in-probation-clears", func(t *testing.T) {
+		s := probationSession(t, 4, 1, map[int]bool{2: true}, nil)
+		stepFlags(t, s, 4) // demote at 2, still in probation
+		out, err := s.Reset(time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.ClearedDemotion || !out.WasProbation {
+			t.Fatalf("Reset outcome = %+v, want cleared probation", out)
+		}
+		if res := stepFlags(t, s, 1)[0]; res.Demoted {
+			t.Fatal("session still demoted after a clearing reset")
+		}
+	})
+	t.Run("uncertainty-cap-latched-clears", func(t *testing.T) {
+		// cap 0: the very first uncertainty demotion latches.
+		s := probationSession(t, 4, 0, map[int]bool{2: true}, nil)
+		res := stepFlags(t, s, 4)
+		if !res[2].Latched {
+			t.Fatalf("step 2 = %+v, want an immediately latching demotion under cap 0", res[2])
+		}
+		out, err := s.Reset(time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.ClearedDemotion || out.WasProbation {
+			t.Fatalf("Reset outcome = %+v, want a cleared (non-probation) latch", out)
+		}
+		if res := stepFlags(t, s, 1)[0]; res.Demoted {
+			t.Fatal("session still demoted after a clearing reset")
+		}
+	})
+	t.Run("fault-survives", func(t *testing.T) {
+		s := probationSession(t, 4, 2, nil, map[int]bool{2: true})
+		res := stepFlags(t, s, 4)
+		if !res[2].Latched || !res[2].PanicRecovered {
+			t.Fatalf("step 2 = %+v, want a latching fault demotion", res[2])
+		}
+		out, err := s.Reset(time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ClearedDemotion || out.WasProbation {
+			t.Fatalf("Reset outcome = %+v, want the fault latch to survive", out)
+		}
+		if res := stepFlags(t, s, 1)[0]; !res.Demoted {
+			t.Fatal("fault-demoted session served live after reset")
+		}
+	})
+	t.Run("budget-refills", func(t *testing.T) {
+		s := probationSession(t, 2, 1, map[int]bool{2: true, 10: true}, nil)
+		stepFlags(t, s, 8) // demote at 2, recover at 4: budget spent
+		if info := s.Snapshot(time.Now()); info.Recovered != 1 {
+			t.Fatalf("re-admissions before reset = %d, want 1", info.Recovered)
+		}
+		if _, err := s.Reset(time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		// The script keeps counting session steps across the episode
+		// boundary: the fault at step 10 must enter probation again, not
+		// latch, because Reset refilled the per-episode budget.
+		res := stepFlags(t, s, 6) // steps 8..13
+		if r := res[2]; !r.Demotion || r.Latched || !r.Probation {
+			t.Fatalf("post-reset demotion = %+v, want recoverable", r)
+		}
+		if r := res[4]; !r.Recovered {
+			t.Fatalf("step 12 = %+v, want a re-admission from the refilled budget", r)
+		}
+	})
+}
+
+// TestRecoveredSessionEquivalence is the probation identity check
+// (DESIGN.md §13): shadow steps advance the real guard — signal
+// windows, trigger state, episode bookkeeping — exactly as live steps
+// would, so a session that demoted at step f and re-admitted at
+// f+readmitL serves decisions bit-identical to a fresh guard
+// fast-forwarded through the same observation sequence. The scheme is
+// U_π (a real ensemble signal with trigger smoothing state), with only
+// the demoting step's score overridden: the inner signal sees every
+// observation either way.
+func TestRecoveredSessionEquivalence(t *testing.T) {
+	f, err := NewGuardFactory(sharedArtifacts(t), GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps, faultAt, readmitL = 20, 6, 4
+	obsSeq := probeObs(t, steps, f.ObsDim())
+
+	// Reference: a fresh, unwrapped guard over the full sequence.
+	gB, err := f.NewGuard(SchemeAEns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newSession("fresh", SchemeAEns, gB, time.Now())
+	ref := make([]StepResult, steps)
+	for i := range ref {
+		if ref[i], err = fresh.Step(obsSeq[i], time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		if ref[i].Decision.UsedDefault {
+			t.Fatalf("reference step %d defaulted — pick calmer observations", i)
+		}
+	}
+
+	// Candidate: same guard construction, with the score overridden to
+	// NaN at faultAt. The inner signal still sees every observation.
+	gA, err := f.NewGuard(SchemeAEns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gA.Signal = &overrideSignal{inner: gA.Signal, over: map[int]float64{faultAt: math.NaN()}}
+	cand := newSession("recovered", SchemeAEns, gA, time.Now())
+	cand.readmitL = readmitL
+	cand.readmitCap = 1
+
+	recoverAt := faultAt + readmitL
+	for i := 0; i < steps; i++ {
+		res, err := cand.Step(obsSeq[i], time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.Demoted, i >= faultAt && i < recoverAt; got != want {
+			t.Fatalf("step %d: Demoted = %v, want %v", i, got, want)
+		}
+		if res.Demoted {
+			continue // degraded steps serve the safe policy by design
+		}
+		if res.Action != ref[i].Action ||
+			math.Float64bits(res.Decision.Score) != math.Float64bits(ref[i].Decision.Score) ||
+			res.Decision.Step != ref[i].Decision.Step {
+			t.Fatalf("step %d: recovered session diverged: (action %d, score %x, step %d) vs fresh (action %d, score %x, step %d)",
+				i, res.Action, math.Float64bits(res.Decision.Score), res.Decision.Step,
+				ref[i].Action, math.Float64bits(ref[i].Decision.Score), ref[i].Decision.Step)
+		}
+		if i == recoverAt && !res.Recovered {
+			t.Fatalf("step %d: Recovered not set at the re-admission index", i)
+		}
+	}
+}
+
+// probeObs builds a deterministic observation sequence in the guard's
+// normalized input range; the reference pass asserts the U_π guard
+// never defaults on it.
+func probeObs(t *testing.T, steps, dim int) [][]float64 {
+	t.Helper()
+	rng := stats.NewRNG(1)
+	seq := make([][]float64, steps)
+	for i := range seq {
+		obs := make([]float64, dim)
+		for j := range obs {
+			obs[j] = rng.Float64()
+		}
+		seq[i] = obs
+	}
+	return seq
+}
+
+// TestShadowStepZeroAlloc pins the probation shadow path — demoted but
+// recoverable, guard scored in shadow every step — at zero allocations,
+// the guarantee the //osap:hotpath-stop annotations in Session.Step
+// cite. A huge readmitL holds the session in probation for the whole
+// measurement; the latched fast path is pinned alongside.
+func TestShadowStepZeroAlloc(t *testing.T) {
+	f, err := NewGuardFactory(sharedArtifacts(t), GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{SchemeND, SchemeAEns, SchemeVEns} {
+		g, err := f.NewGuard(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newSession("shadow-alloc", scheme, g, time.Now())
+		s.readmitL = 1 << 30 // never re-admits during the measurement
+		s.readmitCap = -1
+		obs := make([]float64, abr.ObsDim)
+		now := time.Now()
+		s.mu.Lock()
+		s.demoteLocked(demoteScore, "test: pre-demoted")
+		latched := s.demoteLatch
+		s.mu.Unlock()
+		if latched {
+			t.Fatalf("%s: pre-demoted session latched, want probation", scheme)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := s.Step(obs, now); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: shadow Step allocates %.1f/op, want 0", scheme, allocs)
+		}
+
+		// The permanently-latched path (safe policy only, no shadow).
+		s.mu.Lock()
+		s.demoteLatch = true
+		s.mu.Unlock()
+		allocs = testing.AllocsPerRun(200, func() {
+			if _, err := s.Step(obs, now); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: latched Step allocates %.1f/op, want 0", scheme, allocs)
+		}
+	}
+}

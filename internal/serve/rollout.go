@@ -16,11 +16,12 @@ package serve
 //	                    │
 //	                    └──rollback (manual or auto)──▶ steady
 //
-// Auto-rollback fires when the candidate's demotion rate (per session)
-// or fallback rate (per decision) exceeds the incumbent's by
-// RollbackMargin after MinSamples decisions across MinSessions
-// sessions; auto-promote fires when the candidate stays healthy for
-// PromoteAfter decisions. Both are evaluated on the step path (every
+// Auto-rollback fires when the candidate's permanently-latched
+// demotion rate (per session; transient excursions that probation
+// recovers don't count — DESIGN.md §13) or fallback rate (per
+// decision) exceeds the incumbent's by RollbackMargin after MinSamples
+// decisions across MinSessions sessions; auto-promote fires when the
+// candidate stays healthy for PromoteAfter decisions. Both are evaluated on the step path (every
 // 64th candidate decision) and on every /dashboard read, so a
 // quiescent fleet still converges.
 
@@ -41,8 +42,11 @@ type VersionStats struct {
 	Live      atomic.Int64  // sessions currently pinned to this version
 	Decisions atomic.Uint64 // steps served
 	Fallbacks atomic.Uint64 // steps acted by the default policy
-	Demotions atomic.Uint64 // sessions demoted while on this version
+	Demotions atomic.Uint64 // demotion events while on this version
 	Degraded  atomic.Uint64 // steps served in degraded mode
+	Recovered atomic.Uint64 // probation re-admissions (DESIGN.md §13)
+	Redemoted atomic.Uint64 // repeat demotions after a first one
+	Latched   atomic.Uint64 // demotions that latched permanently
 	Latency   *Histogram    // server-side step latency
 }
 
@@ -331,11 +335,15 @@ func (r *Rollout) evaluate(now time.Time) {
 	if cd < uint64(r.cfg.MinSamples) || cs < uint64(r.cfg.MinSessions) {
 		return
 	}
-	candDem := float64(cand.stats.Demotions.Load()) / float64(cs)
+	// Judge on permanent latches, not raw demotions: a transient
+	// excursion that probation recovers is not evidence of a bad
+	// artifact. Without probation every demotion latches, so this is
+	// the pre-probation demotion rate exactly.
+	candDem := float64(cand.stats.Latched.Load()) / float64(cs)
 	candFb := float64(cand.stats.Fallbacks.Load()) / float64(cd)
 	var actDem, actFb float64
 	if as := act.stats.Sessions.Load(); as > 0 {
-		actDem = float64(act.stats.Demotions.Load()) / float64(as)
+		actDem = float64(act.stats.Latched.Load()) / float64(as)
 	}
 	if ad := act.stats.Decisions.Load(); ad > 0 {
 		actFb = float64(act.stats.Fallbacks.Load()) / float64(ad)

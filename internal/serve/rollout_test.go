@@ -133,14 +133,18 @@ func TestRolloutAutoRollbackOnDemotions(t *testing.T) {
 	cand.stats.Sessions.Store(1)
 	cand.stats.Decisions.Store(5)
 	cand.stats.Demotions.Store(1)
+	cand.stats.Latched.Store(1)
 	r.evaluate(now)
 	if r.Candidate() != cand {
 		t.Fatal("controller acted below min samples")
 	}
-	// Past thresholds with every session demoting: rollback.
+	// Past thresholds with every session latching permanently: rollback.
+	// (The controller judges Latched, not raw Demotions — transient
+	// excursions that probation recovers must not trip it.)
 	cand.stats.Sessions.Store(10)
 	cand.stats.Decisions.Store(100)
 	cand.stats.Demotions.Store(10)
+	cand.stats.Latched.Store(10)
 	r.evaluate(now)
 	if r.Candidate() != nil {
 		t.Fatal("auto-rollback did not fire")
@@ -152,6 +156,39 @@ func TestRolloutAutoRollbackOnDemotions(t *testing.T) {
 	last := ev[len(ev)-1]
 	if last.Action != "rolled_back" || !last.Auto {
 		t.Fatalf("last event %+v, want auto rolled_back", last)
+	}
+}
+
+// TestRolloutIgnoresRecoveredDemotions pins the probation interaction
+// (DESIGN.md §13): demotion events that probation recovered (high
+// Demotions, low Latched) must not trip auto-rollback — only the
+// permanently latched rate is judged.
+func TestRolloutIgnoresRecoveredDemotions(t *testing.T) {
+	base := newGeneration("v1", "", nil, nil)
+	cand := newGeneration("v2", "", nil, nil)
+	r := newRollout(base, RolloutConfig{MinSamples: 10, MinSessions: 2, RollbackMargin: 0.05, PromoteAfter: 1 << 30})
+	now := time.Unix(0, 0)
+	if _, err := r.Stage(cand, 0.5, now); err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	base.stats.Sessions.Store(100)
+	base.stats.Decisions.Store(1000)
+	// Every candidate session demoted transiently and recovered; none
+	// latched. The raw demotion rate (1.0/session) would have rolled
+	// back under the old rule.
+	cand.stats.Sessions.Store(10)
+	cand.stats.Decisions.Store(100)
+	cand.stats.Demotions.Store(10)
+	cand.stats.Recovered.Store(10)
+	r.evaluate(now)
+	if r.Candidate() != cand {
+		t.Fatal("controller rolled back on recovered demotions")
+	}
+	// One permanent latch across 10 sessions: 0.10 > margin → rollback.
+	cand.stats.Latched.Store(1)
+	r.evaluate(now)
+	if r.Candidate() != nil {
+		t.Fatal("controller ignored the latched rate")
 	}
 }
 

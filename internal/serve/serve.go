@@ -45,6 +45,13 @@ type GuardConfig struct {
 	// Trim is the ensemble trimming rule; zero value is replaced by
 	// core.DefaultEnsembleConfig().
 	Trim core.EnsembleConfig
+	// ReadmitL and ReadmitCap configure trigger probation (DESIGN.md
+	// §13): after firing, the guard re-admits the learned policy once
+	// the signal has been confident for ReadmitL consecutive steps, at
+	// most ReadmitCap times per episode. The zero values keep the
+	// paper's permanent latch.
+	ReadmitL   int
+	ReadmitCap int
 }
 
 func (c GuardConfig) withDefaults() GuardConfig {
@@ -159,6 +166,8 @@ func (f *GuardFactory) NewGuard(scheme string) (*core.Guard, error) {
 		sig = s
 		tc := core.StateTriggerConfig()
 		tc.L = f.cfg.TriggerL
+		tc.ReadmitL = f.cfg.ReadmitL
+		tc.ReadmitCap = f.cfg.ReadmitCap
 		trig = core.NewTrigger(tc)
 	case SchemeAEns:
 		if len(f.arts.Agents) < 2 {
@@ -169,7 +178,10 @@ func (f *GuardFactory) NewGuard(scheme string) (*core.Guard, error) {
 			return nil, err
 		}
 		sig = s
-		trig = core.NewTrigger(core.VarianceTriggerConfig(f.arts.AlphaPi, f.cfg.TriggerL))
+		tc := core.VarianceTriggerConfig(f.arts.AlphaPi, f.cfg.TriggerL)
+		tc.ReadmitL = f.cfg.ReadmitL
+		tc.ReadmitCap = f.cfg.ReadmitCap
+		trig = core.NewTrigger(tc)
 	case SchemeVEns:
 		if len(f.arts.ValueNets) < 2 {
 			return nil, fmt.Errorf("serve: %s needs a value ensemble (have %d)", SchemeVEns, len(f.arts.ValueNets))
@@ -179,7 +191,10 @@ func (f *GuardFactory) NewGuard(scheme string) (*core.Guard, error) {
 			return nil, err
 		}
 		sig = s
-		trig = core.NewTrigger(core.VarianceTriggerConfig(f.arts.AlphaV, f.cfg.TriggerL))
+		tc := core.VarianceTriggerConfig(f.arts.AlphaV, f.cfg.TriggerL)
+		tc.ReadmitL = f.cfg.ReadmitL
+		tc.ReadmitCap = f.cfg.ReadmitCap
+		trig = core.NewTrigger(tc)
 	default:
 		return nil, fmt.Errorf("serve: unknown scheme %q (want one of %v)", scheme, f.Schemes())
 	}

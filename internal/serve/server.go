@@ -68,6 +68,14 @@ type Config struct {
 	// ListVersions, if set, lists stageable registry versions for the
 	// dashboard (best-effort; nil omits the field).
 	ListVersions func() []string
+	// ReadmitL and ReadmitCap configure session probation (DESIGN.md
+	// §13): an uncertainty-demoted session keeps scoring its guard in
+	// shadow and re-admits after ReadmitL consecutive confident shadow
+	// steps, at most ReadmitCap times per episode (< 0 = unlimited).
+	// The zero values keep demotion permanent — the pre-probation
+	// behavior. Fault (panic) demotions never recover regardless.
+	ReadmitL   int
+	ReadmitCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,9 +136,12 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 
 	// demotedLive tracks live sessions serving in degraded mode:
-	// incremented by the step handler on first demotion, decremented by
-	// the table's close hook as demoted sessions depart.
-	demotedLive atomic.Int64
+	// incremented by the step handler on each demotion, decremented on
+	// recovery, on a demotion-clearing reset, and by the table's close
+	// hook as demoted sessions depart. probationLive is the recoverable
+	// subset — demoted sessions still scoring their guard in shadow.
+	demotedLive   atomic.Int64
+	probationLive atomic.Int64
 
 	sweepOnce sync.Once
 	sweepStop chan struct{}
@@ -171,8 +182,11 @@ func NewServer(f *GuardFactory, cfg Config) (*Server, error) {
 	}
 	s.rollout = newRollout(base, cfg.Rollout)
 	s.table.SetOnClose(func(sess *Session) {
-		if sess.Demoted() {
+		if demoted, probation := sess.DemotionState(); demoted {
 			s.demotedLive.Add(-1)
+			if probation {
+				s.probationLive.Add(-1)
+			}
 		}
 		if sess.gen != nil {
 			sess.gen.stats.Live.Add(-1)
@@ -205,6 +219,16 @@ func (s *Server) Sessions() int { return s.table.Len() }
 // demoting step and a concurrent close race).
 func (s *Server) DemotedLive() int64 {
 	if n := s.demotedLive.Load(); n > 0 {
+		return n
+	}
+	return 0
+}
+
+// ProbationLive returns how many live demoted sessions are still
+// recoverable (scoring their guard in shadow), clamped at 0 like
+// DemotedLive.
+func (s *Server) ProbationLive() int64 {
+	if n := s.probationLive.Load(); n > 0 {
 		return n
 	}
 	return 0
@@ -300,7 +324,7 @@ func (s *Server) Drain(ctx context.Context, w io.Writer) error {
 	s.metrics.SessionsDrained.Add(uint64(drained))
 	if w != nil {
 		fmt.Fprintf(w, "# osap-serve final metrics snapshot (drained %d sessions)\n", drained)
-		if werr := s.metrics.WriteProm(w, s.table.Len(), int(s.DemotedLive())); err == nil {
+		if werr := s.metrics.WriteProm(w, s.table.Len(), int(s.DemotedLive()), int(s.ProbationLive())); err == nil {
 			err = werr
 		}
 		s.writeExtendedProm(w)
@@ -337,6 +361,11 @@ type stepResponse struct {
 	Policy   string  `json:"policy"`
 	Step     int     `json:"step"`
 	Demoted  bool    `json:"demoted"`
+	// Probation marks a demoted step whose session is still
+	// recoverable; Recovered marks the step where probation re-admitted
+	// the session (served live again).
+	Probation bool `json:"probation,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 type errorResponse struct {
@@ -417,6 +446,8 @@ func (s *Server) createSession(scheme string) (*Session, error) {
 	sess := newSession(id, scheme, guard, now)
 	sess.class = classifyGuard(guard)
 	sess.gen = gen
+	sess.readmitL = s.cfg.ReadmitL
+	sess.readmitCap = s.cfg.ReadmitCap
 	sess.sigIdx = driftSignalIndex(scheme)
 	sess.driftShard = uint32(idx)
 	if gen.batcher != nil {
@@ -465,14 +496,35 @@ func (s *Server) recordStep(sess *Session, res StepResult) {
 	if res.FirstFiring {
 		s.metrics.TriggerFirings.Add(1)
 	}
-	if res.FirstDemotion {
-		s.metrics.SessionsDemoted.Add(1)
+	if res.Demotion {
+		if res.FirstDemotion {
+			s.metrics.SessionsDemoted.Add(1)
+		}
+		if res.Redemotion {
+			s.metrics.SessionsRedemoted.Add(1)
+		}
 		if res.PanicRecovered {
 			s.metrics.PanicsRecovered.Add(1)
 		} else {
 			s.metrics.NonFiniteScores.Add(1)
 		}
 		s.demotedLive.Add(1)
+		if !res.Latched {
+			s.probationLive.Add(1)
+		}
+	} else if res.Latched {
+		// A shadow-step panic escalated an open probation to a permanent
+		// latch: the session stays demoted but leaves the probation pool.
+		s.metrics.PanicsRecovered.Add(1)
+		s.probationLive.Add(-1)
+	}
+	if res.Latched {
+		s.metrics.SessionsLatched.Add(1)
+	}
+	if res.Recovered {
+		s.metrics.SessionsRecovered.Add(1)
+		s.demotedLive.Add(-1)
+		s.probationLive.Add(-1)
 	}
 	if res.Demoted {
 		s.metrics.DegradedSteps.Add(1)
@@ -483,8 +535,17 @@ func (s *Server) recordStep(sess *Session, res StepResult) {
 	if res.Decision.UsedDefault {
 		st.Fallbacks.Add(1)
 	}
-	if res.FirstDemotion {
+	if res.Demotion {
 		st.Demotions.Add(1)
+	}
+	if res.Latched {
+		st.Latched.Add(1)
+	}
+	if res.Recovered {
+		st.Recovered.Add(1)
+	}
+	if res.Redemotion {
+		st.Redemoted.Add(1)
 	}
 	if res.Demoted {
 		// Degraded steps carry a synthetic zero score; keep them out of
@@ -527,13 +588,15 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	s.recordStep(sess, res)
 	writeJSON(w, http.StatusOK, stepResponse{
-		Action:   res.Action,
-		Score:    res.Decision.Score,
-		Fallback: res.Decision.UsedDefault,
-		Fired:    res.Decision.Fired,
-		Policy:   res.Decision.Policy(),
-		Step:     res.Decision.Step,
-		Demoted:  res.Demoted,
+		Action:    res.Action,
+		Score:     res.Decision.Score,
+		Fallback:  res.Decision.UsedDefault,
+		Fired:     res.Decision.Fired,
+		Policy:    res.Decision.Policy(),
+		Step:      res.Decision.Step,
+		Demoted:   res.Demoted,
+		Probation: res.Probation,
+		Recovered: res.Recovered,
 	})
 }
 
@@ -545,11 +608,25 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "unknown session")
 		return
 	}
-	if err := sess.Reset(s.cfg.Now()); err != nil {
+	out, err := sess.Reset(s.cfg.Now())
+	if err != nil {
 		s.writeError(w, http.StatusGone, "%v", err)
 		return
 	}
+	s.noteResetOutcome(out)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// noteResetOutcome folds a demotion-clearing reset into the gauges —
+// shared by the HTTP and binary reset paths.
+func (s *Server) noteResetOutcome(out ResetOutcome) {
+	if !out.ClearedDemotion {
+		return
+	}
+	s.demotedLive.Add(-1)
+	if out.WasProbation {
+		s.probationLive.Add(-1)
+	}
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -590,7 +667,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"live_sessions":   s.table.Len(),
 		"shards":          s.table.Shards(),
 		"demoted_live":    demoted,
+		"probation_live":  s.ProbationLive(),
 		"demotions_total": s.metrics.SessionsDemoted.Load(),
+		"recovered_total": s.metrics.SessionsRecovered.Load(),
+		"redemoted_total": s.metrics.SessionsRedemoted.Load(),
+		"latched_total":   s.metrics.SessionsLatched.Load(),
 		"active_version":  s.rollout.Active().Version(),
 		"candidate":       candidateVersion(s.rollout),
 	})
@@ -598,6 +679,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteProm(w, s.table.Len(), int(s.DemotedLive())) //nolint:errcheck // client went away
+	s.metrics.WriteProm(w, s.table.Len(), int(s.DemotedLive()), int(s.ProbationLive())) //nolint:errcheck // client went away
 	s.writeExtendedProm(w)
 }

@@ -33,12 +33,34 @@ type Session struct {
 	fired  bool
 
 	// demoted latches when a step panics or yields a non-finite score:
-	// from then on the session serves only the safe default policy (the
+	// from then on the session serves the safe default policy (the
 	// Simplex move, applied to infrastructure faults instead of model
-	// uncertainty). Demotion is permanent for the session's lifetime —
-	// an inference stack that has panicked once is not trusted again.
-	demoted      bool
-	demoteReason string
+	// uncertainty). The demotion taxonomy (DESIGN.md §13) splits by
+	// cause: a fault demotion (recovered panic) is permanent for the
+	// session's lifetime — an inference stack that has panicked once is
+	// not trusted again — while an uncertainty demotion (non-finite
+	// score) is recoverable when probation is configured: the session
+	// keeps scoring its guard in shadow and re-admits after readmitL
+	// consecutive confident shadow steps, at most readmitCap times.
+	demoted bool //osap:guardedby mu
+	// demoteKind records the cause; demoteLatch is true when the
+	// demotion is permanent (fault, probation disabled, or cap spent).
+	demoteKind   demoteKind //osap:guardedby mu
+	demoteLatch  bool       //osap:guardedby mu
+	demoteReason string     //osap:guardedby mu
+	// calm counts consecutive confident shadow steps; readmits the
+	// re-admissions granted so far this episode; everDemoted persists
+	// across episodes so FirstDemotion fires once per session lifetime.
+	calm        int  //osap:guardedby mu
+	readmits    int  //osap:guardedby mu
+	everDemoted bool //osap:guardedby mu
+
+	// Probation config, written once before the session is published to
+	// the table and read-only afterwards. readmitL 0 (or readmitCap 0)
+	// disables recovery: every demotion is permanent, the pre-probation
+	// behavior.
+	readmitL   int
+	readmitCap int // 0 = never re-admit, < 0 = unlimited
 
 	// lastUsed is the UnixNano of the latest touch, read lock-free by
 	// the eviction sweeper.
@@ -89,13 +111,41 @@ type StepResult struct {
 	// this decision came from the safe default policy because inference
 	// faulted earlier (or on this step).
 	Demoted bool
-	// FirstDemotion is true on the step that demoted the session (for
-	// the demotion counters — the handler increments exactly once).
+	// FirstDemotion is true on the step of the session's first-ever
+	// demotion (for the sessions-demoted counter — incremented exactly
+	// once per session).
 	FirstDemotion bool
 	// PanicRecovered distinguishes a recovered inference panic from a
 	// non-finite score on the demoting step.
 	PanicRecovered bool
+	// Demotion is true on any demoting step, first or repeat;
+	// Redemotion marks a demotion of a previously recovered session.
+	Demotion   bool
+	Redemotion bool
+	// Probation is true while the session is demoted but recoverable:
+	// the guard keeps scoring in shadow and the session may re-admit.
+	Probation bool
+	// Recovered is true on the step where probation re-admitted the
+	// session; the decision was served live from the guard again.
+	Recovered bool
+	// Latched is true on the step where the demotion became permanent:
+	// a fault demotion, an uncertainty demotion with probation off or
+	// the re-admission cap spent, or a shadow-step panic escalating an
+	// open probation.
+	Latched bool
 }
+
+// demoteKind is the demotion taxonomy (DESIGN.md §13).
+type demoteKind uint8
+
+const (
+	// demoteFault: the inference stack panicked. Permanent — a stack
+	// that has panicked once is not trusted again.
+	demoteFault demoteKind = iota
+	// demoteScore: the guard produced a non-finite score or
+	// distribution. Recoverable under probation.
+	demoteScore
+)
 
 // Step runs one guarded decision. now stamps the idle clock.
 //
@@ -114,6 +164,10 @@ func (s *Session) Step(obs []float64, now time.Time) (StepResult, error) {
 		return StepResult{}, ErrSessionClosed
 	}
 	if s.demoted {
+		if !s.demoteLatch {
+			d, pv := s.decide(obs) //osap:hotpath-stop decide is panic containment by design; clean path asserted by TestShadowStepZeroAlloc
+			return s.shadowFinishLocked(obs, d, pv, now), nil
+		}
 		res := s.serveSafeLocked(obs)
 		s.steps++
 		s.lastUsed.Store(now.UnixNano())
@@ -138,6 +192,13 @@ func (s *Session) stepBatched(obs []float64, ev *batchEval, now time.Time) (Step
 		return StepResult{}, ErrSessionClosed
 	}
 	if s.demoted {
+		if !s.demoteLatch {
+			// Shadow row: the collector computed this session's GEMM rows
+			// in the same fused forward as live sessions; route the result
+			// into the probation evaluator instead of the client.
+			d, pv := s.decideBatched(obs, ev) //osap:hotpath-stop decideBatched is panic containment by design; clean path asserted by TestShadowStepZeroAlloc
+			return s.shadowFinishLocked(obs, d, pv, now), nil
+		}
 		res := s.serveSafeLocked(obs)
 		s.steps++
 		s.lastUsed.Store(now.UnixNano())
@@ -154,11 +215,20 @@ func (s *Session) stepBatched(obs []float64, ev *batchEval, now time.Time) (Step
 //osap:hotpath
 func (s *Session) finishLocked(obs []float64, d core.Decision, pv any, now time.Time) (StepResult, error) {
 	if pv != nil || !finiteDecision(&d) {
-		//osap:ignore hotpath-alloc demotion slow path, runs at most once per session
-		s.demoteLocked(fmt.Sprintf("step %d: panic=%v score=%g", s.steps, pv, d.Score))
+		kind := demoteScore
+		if pv != nil {
+			kind = demoteFault
+		}
+		//osap:ignore hotpath-alloc demotion slow path, runs at most a few (readmit-cap) times per session
+		s.demoteLocked(kind, fmt.Sprintf("step %d: panic=%v score=%g", s.steps, pv, d.Score))
 		res := s.serveSafeLocked(obs)
-		res.FirstDemotion = true
+		res.Demotion = true
+		res.FirstDemotion = !s.everDemoted
+		res.Redemotion = s.everDemoted
 		res.PanicRecovered = pv != nil
+		res.Latched = s.demoteLatch
+		res.Probation = !s.demoteLatch
+		s.everDemoted = true
 		s.steps++
 		s.lastUsed.Store(now.UnixNano())
 		return res, nil
@@ -238,13 +308,73 @@ func finiteDecision(d *core.Decision) bool {
 	return true
 }
 
+// shadowFinishLocked is the tail of a probation step (DESIGN.md §13):
+// the guard already scored the real observation in shadow, so its
+// signal, trigger and episode bookkeeping advanced exactly as a live
+// guard's would — which is what makes a recovered session bit-identical
+// to a fresh guard fast-forwarded through the same observations. A
+// confident shadow decision (finite, and the trigger not demanding the
+// default) advances the hysteresis; anything else restarts it. After
+// readmitL consecutive confident steps the session re-admits and serves
+// this very decision live. A panic during shadow scoring escalates the
+// demotion to a permanent fault latch.
+//
+//osap:hotpath
+func (s *Session) shadowFinishLocked(obs []float64, d core.Decision, pv any, now time.Time) StepResult {
+	if pv != nil {
+		//osap:ignore hotpath-alloc latch escalation slow path, runs at most once per session
+		s.demoteReason = fmt.Sprintf("%s; shadow step %d: panic=%v", s.demoteReason, s.steps, pv)
+		s.demoteKind = demoteFault
+		s.demoteLatch = true
+		res := s.serveSafeLocked(obs)
+		res.PanicRecovered = true
+		res.Latched = true
+		s.steps++
+		s.lastUsed.Store(now.UnixNano())
+		return res
+	}
+	confident := finiteDecision(&d) && !d.UsedDefault
+	if confident {
+		s.calm++
+	} else {
+		s.calm = 0
+	}
+	if confident && s.calm >= s.readmitL {
+		// Hysteresis satisfied: re-admit and serve the shadow decision.
+		s.demoted = false
+		s.demoteLatch = false
+		s.demoteReason = ""
+		s.demoteKind = demoteScore
+		s.readmits++
+		s.calm = 0
+		res := StepResult{Action: mdp.ArgmaxAction(d.Probs), Decision: d, Recovered: true}
+		res.Decision.Probs = nil
+		s.steps++
+		s.lastUsed.Store(now.UnixNano())
+		return res
+	}
+	res := s.serveSafeLocked(obs)
+	res.Probation = true
+	s.steps++
+	s.lastUsed.Store(now.UnixNano())
+	return res
+}
+
 // demoteLocked latches degraded mode. Setting fired suppresses any
 // later FirstFiring: the trigger-firings counter tracks genuine
-// uncertainty triggers, not infrastructure faults.
-func (s *Session) demoteLocked(reason string) {
+// uncertainty triggers, not infrastructure faults. The latch is
+// permanent (demoteLatch) for fault demotions, when probation is not
+// configured, or once the re-admission budget is spent; otherwise the
+// session enters probation and may recover.
+func (s *Session) demoteLocked(kind demoteKind, reason string) {
 	s.demoted = true
+	s.demoteKind = kind
 	s.demoteReason = reason
 	s.fired = true
+	s.calm = 0
+	s.demoteLatch = kind == demoteFault ||
+		s.readmitL <= 0 || s.readmitCap == 0 ||
+		(s.readmitCap > 0 && s.readmits >= s.readmitCap)
 }
 
 // serveSafeLocked answers one step purely from the safe default
@@ -270,18 +400,56 @@ func (s *Session) Demoted() bool {
 	return s.demoted
 }
 
+// DemotionState reports the session's demotion status in one snapshot:
+// whether it is demoted and whether that demotion is still recoverable
+// (probation). Used by the server's gauge accounting.
+func (s *Session) DemotionState() (demoted, probation bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.demoted, s.demoted && !s.demoteLatch
+}
+
+// ResetOutcome reports what a Reset did beyond restarting the episode,
+// so the server can keep its demotion gauges honest.
+type ResetOutcome struct {
+	// ClearedDemotion is true when the reset cleared an uncertainty
+	// demotion (the session serves live again).
+	ClearedDemotion bool
+	// WasProbation is true when the cleared demotion was still
+	// recoverable (the session was occupying the probation gauge).
+	WasProbation bool
+}
+
 // Reset starts a new episode on the session's guard (e.g. the client
 // began a new video) without discarding the session.
-func (s *Session) Reset(now time.Time) error {
+//
+// Demotion contract (DESIGN.md §13): a fault demotion survives reset —
+// the panic indicts the session's inference stack, not the episode —
+// while an uncertainty demotion (non-finite score), including one whose
+// re-admission cap latched it, clears with the new episode: the guard
+// state that produced the bad score is discarded wholesale, which is
+// strictly stronger evidence than the shadow hysteresis. The
+// re-admission budget is per-episode and refills.
+func (s *Session) Reset(now time.Time) (ResetOutcome, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrSessionClosed
+		return ResetOutcome{}, ErrSessionClosed
 	}
+	var out ResetOutcome
+	if s.demoted && s.demoteKind == demoteScore {
+		out.ClearedDemotion = true
+		out.WasProbation = !s.demoteLatch
+		s.demoted = false
+		s.demoteLatch = false
+		s.demoteReason = ""
+	}
+	s.calm = 0
+	s.readmits = 0
 	s.guard.Reset()
-	s.fired = false
+	s.fired = s.demoted // a surviving fault demotion keeps FirstFiring suppressed
 	s.lastUsed.Store(now.UnixNano())
-	return nil
+	return out, nil
 }
 
 // close marks the session unusable. Idempotent; reports whether this
@@ -307,6 +475,12 @@ type Info struct {
 	IdleMsec     int64  `json:"idle_ms"`
 	Demoted      bool   `json:"demoted"`
 	DemoteReason string `json:"demote_reason,omitempty"`
+	// Probation: demoted but recoverable (shadow scoring under way).
+	Probation bool `json:"probation,omitempty"`
+	// Latched: the demotion is permanent for the session's lifetime.
+	Latched bool `json:"latched,omitempty"`
+	// Recovered counts probation re-admissions this episode.
+	Recovered int `json:"recovered,omitempty"`
 }
 
 // Snapshot captures the session's current state.
@@ -330,6 +504,9 @@ func (s *Session) Snapshot(now time.Time) Info {
 		IdleMsec:     idle.Milliseconds(),
 		Demoted:      s.demoted,
 		DemoteReason: s.demoteReason,
+		Probation:    s.demoted && !s.demoteLatch,
+		Latched:      s.demoted && s.demoteLatch,
+		Recovered:    s.readmits,
 	}
 }
 
