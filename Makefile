@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X osap/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench chaos rollout-selftest recovery-selftest
+.PHONY: all build test verify vet lint fmt-check race ci bench bench-hot serve-bench chaos rollout-selftest recovery-selftest learn-selftest
 
 all: build
 
@@ -46,7 +46,7 @@ fmt-check:
 race:
 	$(GO) test -race . ./cmd/... ./internal/...
 
-ci: verify vet lint fmt-check race rollout-selftest recovery-selftest
+ci: verify vet lint fmt-check race rollout-selftest recovery-selftest learn-selftest
 
 # Full benchmark suite (figures, ablations, latency).
 bench:
@@ -88,3 +88,15 @@ recovery-selftest:
 # bit-flipped one — zero dropped steps throughout.
 rollout-selftest:
 	$(GO) run $(LDFLAGS) ./cmd/osap-serve -rollout
+
+# Gated online-learning selftest (DESIGN.md §14): an adversarial fleet
+# drifts its reported throughput 0.1%/step against a frozen-baseline
+# trust gate while honest and cooperatively-drifting fleets ARE learned
+# from. Asserts the gate's conservation laws exactly (decisions =
+# checked + demoted; checked = admitted + rejected; log records =
+# admissions), that the refit boundary stays within tolerance of the
+# boot baseline on an honest hold-out grid, that refits land in the
+# registry as PROPOSED versions (never served), and that serving
+# decisions are bit-identical before and after a refit.
+learn-selftest:
+	$(GO) run $(LDFLAGS) ./cmd/osap-serve -learn

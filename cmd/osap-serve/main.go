@@ -77,6 +77,9 @@ func main() {
 	chaosTest := flag.Bool("chaos", false, "run the fault-injection self-test instead of serving")
 	rolloutTest := flag.Bool("rollout", false, "run the hot-reload/canary self-test instead of serving")
 	recoveryTest := flag.Bool("recovery", false, "run the probation/recovery chaos self-test instead of serving")
+	learnTest := flag.Bool("learn", false, "run the online-learning poisoning-resistance self-test instead of serving")
+	learnLog := flag.String("learn-log", "", "experience-log directory; non-empty enables gated online learning")
+	learnRefitEvery := flag.Int("learn-refit-every", 0, "auto-refit after this many gate-admitted samples (0 = manual POST /admin/learn only)")
 	chaosSeed := flag.Uint64("chaos-seed", 20200713, "chaos: fault-schedule seed")
 	chaosSteps := flag.Int("chaos-steps", 48, "chaos: decisions per client")
 	transport := flag.String("transport", loadgen.ProtocolHTTP, `chaos: wire protocol ("http" or "binary")`)
@@ -110,6 +113,8 @@ func main() {
 	}
 	var err error
 	switch {
+	case *learnTest:
+		err = runLearnSelfTest(cfg, *dataset, *clients, *chaosSeed)
 	case *rolloutTest:
 		err = runRolloutSelfTest(cfg, *dataset, *clients, *chaosSeed)
 	case *recoveryTest:
@@ -119,7 +124,7 @@ func main() {
 	case *selftest:
 		err = runSelfTest(cfg, *dataset, *models, *clients, *warmup, *measure, *benchOut)
 	default:
-		err = runServer(*addr, *binAddr, cfg, *dataset, *models, *registryDir, *registryPoll)
+		err = runServer(*addr, *binAddr, cfg, *dataset, *models, *registryDir, *registryPoll, *learnLog, *learnRefitEvery)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "osap-serve:", err)
@@ -184,7 +189,7 @@ func loadFactory(dataset, models string) (*serve.GuardFactory, error) {
 	return serve.NewGuardFactory(arts, guardConfigFor(dataset))
 }
 
-func runServer(addr, binAddr string, cfg serve.Config, dataset, models, registryDir string, registryPoll time.Duration) error {
+func runServer(addr, binAddr string, cfg serve.Config, dataset, models, registryDir string, registryPoll time.Duration, learnLog string, learnRefitEvery int) error {
 	var factory *serve.GuardFactory
 	var reg *registry.Registry
 	if registryDir != "" {
@@ -198,6 +203,20 @@ func runServer(addr, binAddr string, cfg serve.Config, dataset, models, registry
 			return err
 		}
 	}
+	if learnLog != "" {
+		learner, err := buildLearner(factory, dataset, learnConfig{
+			LogDir:       learnLog,
+			RefitEvery:   learnRefitEvery,
+			RegistryRoot: registryDir,
+			Parent:       cfg.Version,
+		})
+		if err != nil {
+			return err
+		}
+		defer learner.Stop() //nolint:errcheck // exit path; log close error is cosmetic
+		cfg.Learner = learner
+		fmt.Fprintf(os.Stderr, "online learning enabled: experience log %s (refit-every %d)\n", learnLog, learnRefitEvery)
+	}
 	srv, err := serve.NewServer(factory, cfg)
 	if err != nil {
 		return err
@@ -210,8 +229,11 @@ func runServer(addr, binAddr string, cfg serve.Config, dataset, models, registry
 	var watcher *registry.Watcher
 	sighup := make(chan os.Signal, 1)
 	if reg != nil {
-		watcher, err = registry.NewWatcher(reg, registryPoll, func(added, all []string) {
+		watcher, err = registry.NewWatcher(reg, registryPoll, func(added, all, proposed []string) {
 			fmt.Fprintf(os.Stderr, "registry: new versions %v published (available: %v); stage via POST /admin/rollout\n", added, all)
+			if len(proposed) > 0 {
+				fmt.Fprintf(os.Stderr, "registry: %d proposed version(s) awaiting promotion: %v\n", len(proposed), proposed)
+			}
 		})
 		if err != nil {
 			return err

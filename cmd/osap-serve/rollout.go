@@ -60,7 +60,17 @@ func bootFromRegistry(cfg *serve.Config, root, dataset, version string) (*regist
 		return nil, nil, fmt.Errorf("registry %s has no versions (publish one with osap-train -registry)", root)
 	}
 	if version == "" {
-		version = versions[len(versions)-1]
+		// Default to the newest PROMOTED version: online-refit proposals
+		// live in the same registry but must never become a boot default —
+		// staging via POST /admin/rollout is their only path to serving.
+		promoted, _, err := reg.Partition()
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(promoted) == 0 {
+			return nil, nil, fmt.Errorf("registry %s holds only proposed versions; promote one before serving", root)
+		}
+		version = promoted[len(promoted)-1]
 	}
 	gen, err := reg.Load(version, dataset)
 	if err != nil {
@@ -85,6 +95,13 @@ func bootFromRegistry(cfg *serve.Config, root, dataset, version string) (*regist
 			return nil
 		}
 		return vs
+	}
+	cfg.ListProposed = func() []string {
+		_, proposed, err := reg.Partition()
+		if err != nil {
+			return nil
+		}
+		return proposed
 	}
 	fmt.Fprintf(os.Stderr, "registry %s: serving version %s (sha256 %.12s…) of %d available\n",
 		root, gen.Version, gen.ArtifactSHA256, len(versions))
@@ -189,6 +206,7 @@ type probeSession struct {
 	version string
 	obsDim  int
 	taken   int
+	learned int // steps the online-learning gate admitted
 	decs    []probeDecision
 }
 
@@ -228,12 +246,16 @@ func (h *rolloutHarness) stepProbe(p *probeSession, obsSeq [][]float64, n int) e
 			Action  int     `json:"action"`
 			Score   float64 `json:"score"`
 			Demoted bool    `json:"demoted"`
+			Learned bool    `json:"learned"`
 		}
 		if err := json.Unmarshal([]byte(body), &sr); err != nil {
 			return err
 		}
 		if sr.Demoted {
 			return fmt.Errorf("probe session demoted at step %d", p.taken)
+		}
+		if sr.Learned {
+			p.learned++
 		}
 		p.decs = append(p.decs, probeDecision{Action: sr.Action, Score: sr.Score})
 		h.scores[p.version] = append(h.scores[p.version], sr.Score)

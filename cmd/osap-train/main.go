@@ -23,6 +23,7 @@ import (
 
 	"osap/internal/buildinfo"
 	"osap/internal/experiments"
+	"osap/internal/learn"
 	"osap/internal/registry"
 	"osap/internal/trace"
 )
@@ -35,6 +36,7 @@ func main() {
 	artifactVersion := flag.String("artifact-version", "", "version name to publish under (required with -registry)")
 	parent := flag.String("parent", "", "lineage: the registry version this one supersedes")
 	notes := flag.String("notes", "", "free-form provenance note recorded in the manifest")
+	learnLog := flag.String("learn-log", "", "also export the U_S training features as an experience-log bootstrap into this directory (for osap-serve -learn-log)")
 	verbose := flag.Bool("v", false, "print training progress")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -48,13 +50,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "osap-train: -registry requires -artifact-version")
 		os.Exit(1)
 	}
-	if err := run(*dataset, *scale, *out, *registryDir, *artifactVersion, *parent, *notes, *verbose); err != nil {
+	if *learnLog != "" && *dataset == "all" {
+		fmt.Fprintln(os.Stderr, "osap-train: -learn-log exports one dataset's features; pass -dataset explicitly")
+		os.Exit(1)
+	}
+	if err := run(*dataset, *scale, *out, *registryDir, *artifactVersion, *parent, *notes, *learnLog, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "osap-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, scale, out, registryDir, artifactVersion, parent, notes string, verbose bool) error {
+func run(dataset, scale, out, registryDir, artifactVersion, parent, notes, learnLog string, verbose bool) error {
 	var cfg experiments.Config
 	switch scale {
 	case "paper":
@@ -110,6 +116,21 @@ func run(dataset, scale, out, registryDir, artifactVersion, parent, notes string
 		}
 		fmt.Printf("%s: ensemble=%d value-fns=%d SVs=%d alpha_pi=%.4g alpha_V=%.4g -> %s\n",
 			name, len(a.Agents), len(a.ValueNets), a.OCSVM.NumSVs(), a.AlphaPi, a.AlphaV, path)
+	}
+	if learnLog != "" {
+		a, err := lab.Artifacts(names[0])
+		if err != nil {
+			return err
+		}
+		feats, err := lab.StateFeatures(a)
+		if err != nil {
+			return err
+		}
+		n, err := learn.ExportBootstrap(learnLog, feats, learn.LogConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: exported %d bootstrap records to %s (serve with -learn-log %s)\n", names[0], n, learnLog, learnLog)
 	}
 	return nil
 }

@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"osap/internal/experiments"
+	"osap/internal/learn"
 	"osap/internal/registry"
 )
 
 func TestRunTrainsAndPersists(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("gamma22", "quick", dir, "", "", "", "", false); err != nil {
+	if err := run("gamma22", "quick", dir, "", "", "", "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, "gamma22.json")
@@ -27,9 +28,43 @@ func TestRunTrainsAndPersists(t *testing.T) {
 	}
 }
 
+func TestRunExportsLearnBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	learnDir := filepath.Join(dir, "xplog")
+	if err := run("gamma22", "quick", dir, "", "", "", "", learnDir, false); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := learn.OpenLog(learnDir, learn.LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck
+	if len(recs) == 0 {
+		t.Fatal("-learn-log exported no bootstrap records")
+	}
+	a, err := experiments.LoadArtifacts(filepath.Join(dir, "gamma22.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exported features are the matrix the published OC-SVM was
+	// trained on: same dimension, and in-distribution for it.
+	in := 0
+	for _, r := range recs {
+		if len(r.Feat) != a.OCSVM.Dim {
+			t.Fatalf("bootstrap record dim %d, OC-SVM dim %d", len(r.Feat), a.OCSVM.Dim)
+		}
+		if a.OCSVM.Decision(r.Feat) >= 0 {
+			in++
+		}
+	}
+	if in < len(recs)/2 {
+		t.Errorf("only %d/%d bootstrap records are in-distribution for the trained model", in, len(recs))
+	}
+}
+
 func TestRunPublishesToRegistry(t *testing.T) {
 	root := t.TempDir()
-	if err := run("gamma22", "quick", "", root, "v1", "", "first", false); err != nil {
+	if err := run("gamma22", "quick", "", root, "v1", "", "first", "", false); err != nil {
 		t.Fatal(err)
 	}
 	reg, err := registry.Open(root)
@@ -44,20 +79,20 @@ func TestRunPublishesToRegistry(t *testing.T) {
 		t.Errorf("manifest %+v, artifacts dataset %q", gen.Manifest, gen.Artifacts.Dataset)
 	}
 	// Publishing the same version again must be refused.
-	if err := run("gamma22", "quick", "", root, "v1", "", "", false); err == nil {
+	if err := run("gamma22", "quick", "", root, "v1", "", "", "", false); err == nil {
 		t.Error("duplicate version publish accepted")
 	}
 	// Registry mode publishes one dataset per version.
-	if err := run("all", "quick", "", root, "v2", "", "", false); err == nil {
+	if err := run("all", "quick", "", root, "v2", "", "", "", false); err == nil {
 		t.Error("-registry with -dataset all accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("gamma22", "mega", t.TempDir(), "", "", "", "", false); err == nil {
+	if err := run("gamma22", "mega", t.TempDir(), "", "", "", "", "", false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run("nope", "quick", t.TempDir(), "", "", "", "", false); err == nil {
+	if err := run("nope", "quick", t.TempDir(), "", "", "", "", "", false); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }

@@ -66,6 +66,16 @@ func ThroughputHistoryMbps(obs []float64) []float64 {
 	return out
 }
 
+// ScaleThroughputHistory multiplies the throughput-history row of an
+// observation in place by factor, leaving every other row untouched.
+// The loadgen poisoning adversary uses it to misreport compounding
+// throughput drift without perturbing the honest local environment.
+func ScaleThroughputHistory(obs []float64, factor float64) {
+	for t := 0; t < HistoryLen; t++ {
+		obs[obsIndex(rowThroughput, t)] *= factor
+	}
+}
+
 // LastBitrateMbps decodes the previously selected bitrate (Mbps) given
 // the video's ladder top.
 func LastBitrateMbps(obs []float64, maxKbps float64) float64 {

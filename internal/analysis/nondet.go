@@ -37,6 +37,9 @@ var deterministicPkgs = map[string]bool{
 	// both are cross-fleet comparison surfaces.
 	"osap/internal/sketch":   true,
 	"osap/internal/registry": true,
+	// Online refits must be reproducible from (seed, refit sequence):
+	// the clock enters only through the Config.Now seam.
+	"osap/internal/learn": true,
 }
 
 // seededConstructors are the math/rand functions that construct

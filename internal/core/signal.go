@@ -125,6 +125,43 @@ func (f *featureTracker) reset() {
 	f.stds.Reset()
 }
 
+// StateFeaturizer exposes the windowed [mean, std] feature extraction
+// behind U_S as a streaming component. Callers that need the feature
+// vector itself — the online-learning trust gate, which both classifies
+// the vector and, when admitted, appends it to the experience log —
+// feed throughput samples one at a time and receive exactly the
+// 2K-dimensional vectors BuildStateFeatures would produce offline.
+// Single-goroutine, like every per-session component.
+type StateFeaturizer struct {
+	tracker *featureTracker
+}
+
+// NewStateFeaturizer validates the windowing config and returns an
+// empty featurizer.
+func NewStateFeaturizer(cfg StateSignalConfig) (*StateFeaturizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &StateFeaturizer{tracker: newFeatureTracker(cfg)}, nil
+}
+
+// Observe ingests one throughput sample and returns the current
+// feature vector [mean_1, std_1, …, mean_K, std_K], or nil while the
+// windows are still filling. The returned slice is a buffer owned by
+// the featurizer, valid until the next Observe; callers that retain it
+// must copy.
+//
+//osap:hotpath
+func (f *StateFeaturizer) Observe(sample float64) []float64 {
+	return f.tracker.add(sample)
+}
+
+// Reset clears the windows (new episode).
+func (f *StateFeaturizer) Reset() { f.tracker.reset() }
+
+// Dim returns the feature dimension (2K).
+func (f *StateFeaturizer) Dim() int { return f.tracker.cfg.FeatureDim() }
+
 // BuildStateFeatures converts a throughput time series (e.g. the
 // measured per-chunk throughputs of training rollouts) into OC-SVM
 // training samples, using exactly the same windowing as the online

@@ -282,6 +282,22 @@ func (l *Lab) collectStateFeatures(d *trace.Dataset, policy mdp.Policy, stateCfg
 	return feats
 }
 
+// StateFeatures re-runs the U_S training-feature collection for a
+// trained artifact set: the deployed member rolled over the dataset's
+// training traces with the same seed derivation as train(), yielding
+// exactly the features the OC-SVM was fit on. osap-train -learn-log
+// uses it to export an experience-log bootstrap for the serving-side
+// online learner.
+func (l *Lab) StateFeatures(a *Artifacts) ([][]float64, error) {
+	d, err := l.Dataset(a.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	seed := l.cfg.Seed ^ hashString(a.Dataset)
+	deployed := rl.NewGreedyInference(a.Agents[0])
+	return l.collectStateFeatures(d, deployed, l.cfg.stateCfgFor(a.Dataset), seed), nil
+}
+
 // buildGuard assembles the safety-enhanced policy for a scheme. alpha is
 // only used by the variance-triggered schemes (pass the calibrated value
 // or a candidate during calibration).

@@ -1,0 +1,143 @@
+package learn
+
+import (
+	"osap/internal/core"
+	"osap/internal/ocsvm"
+)
+
+// Verdict classifies one step's admissibility to the experience
+// window.
+type Verdict uint8
+
+const (
+	// VerdictAdmit: all three signals agree the step is
+	// in-distribution and the rate limit has headroom — the feature
+	// vector was handed to the learner.
+	VerdictAdmit Verdict = iota
+	// VerdictWarmup: the feature windows are still filling; there is
+	// no feature vector to judge yet.
+	VerdictWarmup
+	// VerdictState: U_S — the frozen baseline OC-SVM classifies the
+	// windowed state features out-of-distribution.
+	VerdictState
+	// VerdictPolicy: U_π — agent-ensemble disagreement exceeds the
+	// frozen AlphaPi threshold (or is non-finite).
+	VerdictPolicy
+	// VerdictValue: U_V — value-ensemble disagreement exceeds the
+	// frozen AlphaV threshold (or is non-finite).
+	VerdictValue
+	// VerdictRate: the step is trusted but the session has exhausted
+	// its admission budget for now (anti-dominance rate limit).
+	VerdictRate
+
+	numVerdicts
+)
+
+// String returns the metrics label for the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAdmit:
+		return "admitted"
+	case VerdictWarmup:
+		return "warmup"
+	case VerdictState:
+		return "state_ood"
+	case VerdictPolicy:
+		return "policy_disagree"
+	case VerdictValue:
+		return "value_disagree"
+	case VerdictRate:
+		return "rate_limited"
+	default:
+		return "unknown"
+	}
+}
+
+// Gate is the per-session trust gate: it re-evaluates every clean
+// serving step against the FROZEN boot-time baseline — U_S on the
+// baseline OC-SVM, U_π/U_V on the baseline ensembles and thresholds —
+// independent of whatever generation happens to be serving the
+// session. Judging against the frozen boundary is the poisoning
+// ratchet: admitted samples already lie inside it, so no sequence of
+// admitted steps can walk a refit far from where the baseline started.
+//
+// A Gate lives inside one serve.Session and is only touched under that
+// session's lock; like the serving guard it owns private inference
+// workspaces, so gates never contend with each other.
+type Gate struct {
+	learner *Learner
+	sessIdx uint64
+
+	feats   *core.StateFeaturizer
+	model   *ocsvm.Model
+	pol     *core.PolicySignal
+	val     *core.ValueSignal
+	extract func(obs []float64) float64
+	alphaPi float64
+	alphaV  float64
+
+	// Deterministic anti-dominance rate limit, a leaky bucket in step
+	// counts (no clock): a step is admitted only while
+	// admitted < steps/rateEvery + rateBurst, i.e. a burst of
+	// rateBurst early admissions and a steady-state ceiling of one
+	// admission per rateEvery checked steps.
+	rateEvery uint64
+	rateBurst uint64
+	steps     uint64
+	admitted  uint64
+}
+
+// Check classifies one clean serving step. On VerdictAdmit the feature
+// vector and both disagreement scores have already been handed to the
+// learner (or dropped-and-counted if the ring was full). Zero-alloc:
+// it runs inside the session lock on the serving hot path.
+//
+// The signal comparisons are written negated (`!(x <= α)`) so a NaN
+// score — which compares false to everything — rejects rather than
+// admits: a poisoned observation that drives an ensemble non-finite
+// must not slip into the window.
+//
+//osap:hotpath
+func (g *Gate) Check(obs []float64) Verdict {
+	c := &g.learner.counters
+	c.Checked.Add(1)
+	g.steps++
+	feat := g.feats.Observe(g.extract(obs)) //osap:hotpath-stop extract is a pure accessor (abr.LastThroughputMbps): one index read
+	if feat == nil {
+		c.reject(VerdictWarmup)
+		return VerdictWarmup
+	}
+	if !(g.model.Decision(feat) >= 0) {
+		c.reject(VerdictState)
+		return VerdictState
+	}
+	polScore := g.pol.Observe(obs)
+	if !(polScore <= g.alphaPi) {
+		c.reject(VerdictPolicy)
+		return VerdictPolicy
+	}
+	valScore := g.val.Observe(obs)
+	if !(valScore <= g.alphaV) {
+		c.reject(VerdictValue)
+		return VerdictValue
+	}
+	if g.admitted >= g.steps/g.rateEvery+g.rateBurst {
+		c.reject(VerdictRate)
+		return VerdictRate
+	}
+	g.admitted++
+	c.Admitted.Add(1)
+	if !g.learner.ring.offer(g.sessIdx, g.steps-1, feat, polScore, valScore) {
+		c.RingDropped.Add(1)
+	}
+	return VerdictAdmit
+}
+
+// Reset clears per-episode feature windows (mirrors the serving
+// guard's episode reset). The rate-limit budget is per-session, not
+// per-episode, so a client cannot refill it by resetting.
+func (g *Gate) Reset() {
+	g.feats.Reset()
+	g.pol.Reset()
+	g.val.Reset()
+}

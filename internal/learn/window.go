@@ -1,0 +1,43 @@
+package learn
+
+// window is the bounded training window behind refits: the most recent
+// Size admitted feature vectors, oldest evicted first. Storage is flat
+// and reused; Snapshot copies out, so a refit never aliases live
+// window memory. Owned by the learner goroutine (callers hold the
+// learner mutex).
+type window struct {
+	dim   int
+	size  int
+	feat  []float64 // size*dim flat slots
+	head  int       // oldest slot
+	n     int       // occupied slots
+	total uint64    // lifetime adds (monotonic, for reporting)
+}
+
+func newWindow(dim, size int) *window {
+	return &window{dim: dim, size: size, feat: make([]float64, size*dim)}
+}
+
+// add copies one feature vector into the window, evicting the oldest
+// when full.
+func (w *window) add(feat []float64) {
+	i := (w.head + w.n) % w.size
+	if w.n == w.size {
+		i = w.head
+		w.head = (w.head + 1) % w.size
+	} else {
+		w.n++
+	}
+	copy(w.feat[i*w.dim:(i+1)*w.dim], feat)
+	w.total++
+}
+
+// snapshot returns fresh copies of the window contents, oldest first.
+func (w *window) snapshot() [][]float64 {
+	out := make([][]float64, 0, w.n)
+	for k := 0; k < w.n; k++ {
+		i := (w.head + k) % w.size
+		out = append(out, append([]float64(nil), w.feat[i*w.dim:(i+1)*w.dim]...))
+	}
+	return out
+}

@@ -38,6 +38,12 @@ type Manifest struct {
 	// ("" for a root version); it forms the lineage chain.
 	Parent string `json:"parent,omitempty"`
 	Notes  string `json:"notes,omitempty"`
+	// Proposed marks a version published by the online learner
+	// (DESIGN.md §14) that has NOT been promoted: proposed versions
+	// are never picked as a boot default and are surfaced separately
+	// on /dashboard; staging one through the canary rollout is the
+	// only way it ever serves.
+	Proposed bool `json:"proposed,omitempty"`
 	// Files maps artifact filename (no path separators) to the hex
 	// SHA-256 of the file's exact bytes.
 	Files map[string]string `json:"files"`

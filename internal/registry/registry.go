@@ -68,6 +68,31 @@ func (r *Registry) Versions() ([]string, error) {
 	return out, nil
 }
 
+// Partition splits the registry's versions into promoted (eligible as
+// a boot/serving default) and proposed (online-learning refits
+// awaiting canary promotion), each in sorted order. Versions whose
+// manifest cannot be read or validated are omitted from both lists —
+// a version the registry cannot vouch for must not be offered for
+// serving.
+func (r *Registry) Partition() (promoted, proposed []string, err error) {
+	all, err := r.Versions()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, v := range all {
+		m, err := r.Manifest(v)
+		if err != nil {
+			continue
+		}
+		if m.Proposed {
+			proposed = append(proposed, v)
+		} else {
+			promoted = append(promoted, v)
+		}
+	}
+	return promoted, proposed, nil
+}
+
 // Manifest reads and validates one version's manifest.
 func (r *Registry) Manifest(version string) (*Manifest, error) {
 	if !ValidVersion(version) {
@@ -168,6 +193,9 @@ type Meta struct {
 	Parent    string
 	CreatedAt string
 	Notes     string
+	// Proposed marks the version as an unpromoted online-learning
+	// proposal (see Manifest.Proposed).
+	Proposed bool
 }
 
 // WriteVersion publishes an artifact set as a new version: artifacts
@@ -211,6 +239,7 @@ func WriteVersion(root string, meta Meta, arts *experiments.Artifacts) (*Manifes
 		CreatedAt: meta.CreatedAt,
 		Parent:    meta.Parent,
 		Notes:     meta.Notes,
+		Proposed:  meta.Proposed,
 		Files:     map[string]string{filepath.Base(path): hex.EncodeToString(sum[:])},
 	}
 	enc, err := m.Encode()

@@ -169,11 +169,11 @@ func TestWatcherSeesNewVersions(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	type event struct{ added, all []string }
+	type event struct{ added, all, proposed []string }
 	events := make(chan event, 4)
 	// Long poll interval: the test drives scans via Rescan only.
-	w, err := registry.NewWatcher(reg, time.Hour, func(added, all []string) {
-		events <- event{added, all}
+	w, err := registry.NewWatcher(reg, time.Hour, func(added, all, proposed []string) {
+		events <- event{added, all, proposed}
 	})
 	if err != nil {
 		t.Fatalf("NewWatcher: %v", err)
@@ -197,8 +197,29 @@ func TestWatcherSeesNewVersions(t *testing.T) {
 		if len(ev.added) != 1 || ev.added[0] != "v2" || len(ev.all) != 2 {
 			t.Fatalf("event = %+v, want added [v2] of [v1 v2]", ev)
 		}
+		if len(ev.proposed) != 0 {
+			t.Fatalf("event lists proposed %v, want none", ev.proposed)
+		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("watcher missed published version")
+	}
+
+	// A proposed version (an online-learning refit) fires too, but is
+	// classified separately from the promoted lineage.
+	if _, err := registry.WriteVersion(root, registry.Meta{Version: "v2-refit-001", Parent: "v2", Proposed: true}, arts); err != nil {
+		t.Fatalf("WriteVersion proposal: %v", err)
+	}
+	w.Rescan()
+	select {
+	case ev := <-events:
+		if len(ev.added) != 1 || ev.added[0] != "v2-refit-001" {
+			t.Fatalf("event = %+v, want added [v2-refit-001]", ev)
+		}
+		if len(ev.proposed) != 1 || ev.proposed[0] != "v2-refit-001" {
+			t.Fatalf("event classified proposed %v, want [v2-refit-001]", ev.proposed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher missed proposed version")
 	}
 
 	// The same version never fires twice.
@@ -220,10 +241,10 @@ func TestWatcherZeroIntervalDisablesPolling(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	type event struct{ added, all []string }
+	type event struct{ added, all, proposed []string }
 	events := make(chan event, 4)
-	w, err := registry.NewWatcher(reg, 0, func(added, all []string) {
-		events <- event{added, all}
+	w, err := registry.NewWatcher(reg, 0, func(added, all, proposed []string) {
+		events <- event{added, all, proposed}
 	})
 	if err != nil {
 		t.Fatalf("NewWatcher: %v", err)
@@ -250,5 +271,42 @@ func TestWatcherZeroIntervalDisablesPolling(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("rescan missed published version with polling disabled")
+	}
+}
+
+func TestPartitionSplitsProposedFromPromoted(t *testing.T) {
+	root := t.TempDir()
+	arts := testArtifacts(t)
+	for _, m := range []registry.Meta{
+		{Version: "v1"},
+		{Version: "v2", Parent: "v1"},
+		{Version: "v2-refit-001", Parent: "v2", Proposed: true},
+	} {
+		if _, err := registry.WriteVersion(root, m, arts); err != nil {
+			t.Fatalf("WriteVersion %s: %v", m.Version, err)
+		}
+	}
+	reg, err := registry.Open(root)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	promoted, proposed, err := reg.Partition()
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if len(promoted) != 2 || promoted[0] != "v1" || promoted[1] != "v2" {
+		t.Fatalf("promoted = %v, want [v1 v2]", promoted)
+	}
+	if len(proposed) != 1 || proposed[0] != "v2-refit-001" {
+		t.Fatalf("proposed = %v, want [v2-refit-001]", proposed)
+	}
+
+	// The Proposed flag must survive the manifest round trip.
+	man, err := reg.Manifest("v2-refit-001")
+	if err != nil {
+		t.Fatalf("Manifest: %v", err)
+	}
+	if !man.Proposed {
+		t.Fatal("proposal manifest lost its Proposed flag")
 	}
 }

@@ -9,12 +9,15 @@ import (
 // fsnotify-free so it works on every filesystem — and also rescans on
 // demand (cmd/osap-serve wires SIGHUP to Rescan). The onChange
 // callback runs on the watcher goroutine with the sorted list of new
-// versions and the full sorted version list; it is never called
-// concurrently with itself.
+// versions, the full sorted version list, and the sorted subset of
+// versions whose manifests are marked Proposed (unpromoted
+// online-learning refits) — so operators see pending proposals
+// surfaced distinctly rather than mixed into the promotable set. It
+// is never called concurrently with itself.
 type Watcher struct {
 	reg      *Registry
 	interval time.Duration
-	onChange func(added, all []string)
+	onChange func(added, all, proposed []string)
 
 	mu sync.Mutex
 	//osap:guardedby mu
@@ -30,7 +33,7 @@ type Watcher struct {
 // watcher starts) and begins watching. interval > 0 polls at that
 // cadence; interval == 0 disables the timer entirely, leaving only
 // on-demand rescans (Rescan / SIGHUP); interval < 0 defaults to 5s.
-func NewWatcher(reg *Registry, interval time.Duration, onChange func(added, all []string)) (*Watcher, error) {
+func NewWatcher(reg *Registry, interval time.Duration, onChange func(added, all, proposed []string)) (*Watcher, error) {
 	if interval < 0 {
 		interval = 5 * time.Second
 	}
@@ -109,6 +112,12 @@ func (w *Watcher) scan() {
 	}
 	w.mu.Unlock()
 	if len(added) > 0 && w.onChange != nil {
-		w.onChange(added, all)
+		// Classify only when something changed: manifests are read
+		// lazily so quiet polls stay a single ReadDir.
+		_, proposed, err := w.reg.Partition()
+		if err != nil {
+			proposed = nil
+		}
+		w.onChange(added, all, proposed)
 	}
 }

@@ -1,6 +1,14 @@
 package serve
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"osap/internal/abr"
+	"osap/internal/core"
+	"osap/internal/learn"
+	"osap/internal/stats"
+)
 
 // TestHotHelpersZeroAlloc pins the //osap:hotpath contracts of the
 // small helpers the step path leans on: the session-table hash, the
@@ -50,4 +58,79 @@ func TestHotHelpersZeroAlloc(t *testing.T) {
 			t.Fatalf("DriftSet.Observe allocated %.1f times per run, want 0", allocs)
 		}
 	})
+}
+
+// TestGateStepZeroAlloc pins the online-learning trust gate's
+// //osap:hotpath contract: a gated Session.Step — including admissions,
+// which copy the feature vector into the handoff ring — allocates
+// nothing. The learner's flush interval is an hour so its background
+// goroutine stays quiescent during measurement (AllocsPerRun counts
+// process-wide mallocs), and the artifacts' alphas are relaxed so the
+// untrained ensembles' disagreement never vetoes: admission is decided
+// by U_S alone, on samples drawn from the OC-SVM's own training
+// distribution.
+func TestGateStepZeroAlloc(t *testing.T) {
+	arts, err := SyntheticArtifacts("gatealloc", 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts.AlphaPi, arts.AlphaV = 1e9, 1e9
+	f, err := NewGuardFactory(arts, GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner, err := learn.New(learn.Config{
+		Artifacts:     arts,
+		SignalConfig:  core.DefaultStateSignalConfig(),
+		Trim:          core.DefaultEnsembleConfig(),
+		Extract:       abr.LastThroughputMbps,
+		RateBurst:     1 << 30, // never rate-limit: keep the admission path hot
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer learner.Stop() //nolint:errcheck // no log configured
+	g, err := f.NewGuard(SchemeND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession("gate-alloc", SchemeND, g, time.Now())
+	s.gate, err = learner.NewGate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Throughput samples from the OC-SVM's training distribution
+	// (3±0.5 Mbps), precomputed so the step loop only writes one obs
+	// slot.
+	rng := stats.NewRNG(42)
+	samples := make([]float64, 4096)
+	for i := range samples {
+		samples[i] = 3 + 0.5*rng.NormFloat64()
+	}
+	const thrIdx = 3*abr.HistoryLen - 1 // throughput row (2), newest slot
+	obs := make([]float64, abr.ObsDim)
+	now := time.Now()
+	i := 0
+	step := func() {
+		obs[thrIdx] = samples[i%len(samples)] / 10 // obs stores Mbps/10
+		i++
+		if _, err := s.Step(obs, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 200; j++ {
+		step() // warm: fill feature windows past the gate's warmup verdicts
+	}
+	if learner.Counters().Admitted.Load() == 0 {
+		t.Fatal("gate admitted nothing during warmup; the zero-alloc run would not cover the admission path")
+	}
+	allocs := testing.AllocsPerRun(1000, step)
+	if allocs != 0 {
+		t.Errorf("gated Session.Step allocates %.2f/op on the clean path, want 0", allocs)
+	}
+	if learner.Counters().RingDropped.Load() != 0 {
+		t.Error("handoff ring overflowed during the measurement window")
+	}
 }

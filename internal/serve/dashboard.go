@@ -139,6 +139,14 @@ func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.ListVersions != nil {
 		doc["registry_versions"] = s.cfg.ListVersions()
 	}
+	if s.cfg.ListProposed != nil {
+		// Pending online-learning refits, surfaced apart from the
+		// promotable set so operators see them without tailing logs.
+		doc["registry_proposed"] = s.cfg.ListProposed()
+	}
+	if l := s.cfg.Learner; l != nil {
+		doc["learn"] = l.Snapshot()
+	}
 	writeJSON(w, http.StatusOK, doc)
 }
 
@@ -338,6 +346,10 @@ func (s *Server) writeExtendedProm(w io.Writer) {
 					g.Version(), driftSignalNames[sig], promFloat(q), promFloat(sk.Quantile(q)))
 			}
 		}
+	}
+
+	if s.cfg.Learner != nil {
+		s.writeLearnProm(w)
 	}
 }
 

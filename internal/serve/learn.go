@@ -1,0 +1,84 @@
+package serve
+
+// Online-learning surface (DESIGN.md §14):
+//
+//	POST /admin/learn  {"action":"refit"}  → synchronous gated refit
+//
+// plus the osap_learn_* Prometheus families appended by
+// writeExtendedProm when a Learner is configured. The server never
+// promotes a refit: proposals land in the registry as Proposed
+// versions and only the rollout machinery (POST /admin/rollout) can
+// ever serve one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"osap/internal/learn"
+)
+
+// learnRequest is the POST /admin/learn body.
+type learnRequest struct {
+	Action string `json:"action"` // refit
+}
+
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	l := s.cfg.Learner
+	if l == nil {
+		s.writeError(w, http.StatusNotImplemented, "online learning is not enabled")
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.DrainRejected.Add(1)
+		s.rejectBusy(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req learnRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil && err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	switch req.Action {
+	case "refit":
+		prop, err := l.Refit()
+		if err != nil {
+			s.writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, prop)
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown action %q (want refit)", req.Action)
+	}
+}
+
+// writeLearnProm appends the online-learning counter families.
+func (s *Server) writeLearnProm(w io.Writer) {
+	c := s.cfg.Learner.Counters()
+	counter := func(name, help string, val uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, val)
+	}
+	counter("osap_learn_gate_checked_total", "Serving steps judged by the trust gate.", c.Checked.Load())
+	counter("osap_learn_gate_admitted_total", "Steps admitted to the experience window.", c.Admitted.Load())
+	fmt.Fprintf(w, "# HELP osap_learn_gate_rejected_total Steps rejected by the trust gate, by reason.\n")
+	fmt.Fprintf(w, "# TYPE osap_learn_gate_rejected_total counter\n")
+	for v := learn.Verdict(1); ; v++ {
+		name := v.String()
+		if name == "unknown" {
+			break
+		}
+		fmt.Fprintf(w, "osap_learn_gate_rejected_total{reason=%q} %d\n", name, c.Rejected(v))
+	}
+	fmt.Fprintf(w, "osap_learn_gate_rejected_total{reason=\"demoted\"} %d\n", c.RejectedDemoted.Load())
+	counter("osap_learn_ring_dropped_total", "Admitted samples dropped because the handoff ring was full.", c.RingDropped.Load())
+	counter("osap_learn_log_records_total", "Records appended to the experience log this run.", c.LogRecords.Load())
+	counter("osap_learn_log_segments_sealed_total", "Experience-log segments sealed (fsynced and rotated).", c.LogSegments.Load())
+	counter("osap_learn_bootstrap_records_total", "Records replayed from the experience log at startup.", c.BootstrapRecords.Load())
+	counter("osap_learn_refits_total", "Successful OC-SVM refits.", c.Refits.Load())
+	counter("osap_learn_refit_failures_total", "Refit attempts that failed (insufficient window, training or publish error).", c.RefitFailures.Load())
+	counter("osap_learn_proposed_total", "Refits published to the registry as proposed versions.", c.Proposed.Load())
+	snap := s.cfg.Learner.Snapshot()
+	fmt.Fprintf(w, "# HELP osap_learn_window_fill Feature vectors currently in the refit window.\n")
+	fmt.Fprintf(w, "# TYPE osap_learn_window_fill gauge\nosap_learn_window_fill %d\n", snap.WindowFill)
+}

@@ -91,6 +91,14 @@ type Config struct {
 	// FlagMismatch. This is the deterministic-recovery-index assertion
 	// of the -recovery chaos harness.
 	ExpectDemoted func(sessionIdx uint64, step int) bool
+	// Adversary, when non-nil, returns client i's multiplicative
+	// per-step throughput drift factor: before each step the client
+	// scales the throughput history in the observation it REPORTS by
+	// the compounded factor (1.001 = +0.1%/step, the slow-poisoning
+	// attacker of DESIGN.md §14) while its local environment keeps
+	// evolving honestly. Return 0 or 1 for an honest client. HTTP
+	// protocol only.
+	Adversary func(i int) float64
 }
 
 // Backoff shapes the retry schedule for rejected requests: attempt n
@@ -139,7 +147,15 @@ type Result struct {
 	Redemotions        int64
 	SessionsEndDemoted int64
 	FlagMismatches     int64
-	Elapsed            time.Duration
+	// StepsLearned counts steps the server's online-learning trust
+	// gate admitted into the experience window (the HTTP "learned"
+	// response flag; binary runs leave these zero). AdversarySteps and
+	// AdversaryLearned are the tallies for the subset of clients with
+	// a drift Adversary configured.
+	StepsLearned     int64
+	AdversarySteps   int64
+	AdversaryLearned int64
+	Elapsed          time.Duration
 	// VersionCounts tallies sessions by the artifact version reported at
 	// creation (HTTP protocol only; the binary Opened frame carries no
 	// version, so binary runs leave this empty).
@@ -197,11 +213,16 @@ type client struct {
 	seq       uint32
 	connSetup time.Duration
 
+	drift    float64   // adversary per-step drift factor (0 = honest)
+	driftAcc float64   // compounded drift applied to the reported obs
+	obsBuf   []float64 // scratch for the drift-scaled observation
+
 	stepsOK      int64
 	drained      int64
 	dropped      int64
 	fallbacks    int64
 	retries      int64
+	learned      int64
 	demotedSteps int64
 	violations   int64
 	demoted      bool
@@ -227,6 +248,7 @@ type stepResponse struct {
 	Action   int     `json:"action"`
 	Fallback bool    `json:"fallback"`
 	Demoted  bool    `json:"demoted"`
+	Learned  bool    `json:"learned"`
 	Score    float64 `json:"score"`
 }
 
@@ -360,7 +382,16 @@ func (c *client) createHTTP(ctx context.Context) (int, error) {
 // stepHTTP posts the current observation and advances the local env
 // with the returned action.
 func (c *client) stepHTTP(ctx context.Context) (ok bool) {
-	body, err := json.Marshal(map[string][]float64{"obs": c.obs})
+	obs := c.obs
+	if c.drift != 0 {
+		// Adversarial drift: compound the factor and misreport the
+		// throughput history, leaving the honest local env untouched.
+		c.driftAcc *= c.drift
+		c.obsBuf = append(c.obsBuf[:0], c.obs...)
+		abr.ScaleThroughputHistory(c.obsBuf, c.driftAcc)
+		obs = c.obsBuf
+	}
+	body, err := json.Marshal(map[string][]float64{"obs": obs})
 	if err != nil {
 		c.dropped++
 		return false
@@ -389,6 +420,9 @@ func (c *client) stepHTTP(ctx context.Context) (ok bool) {
 	c.latencies = append(c.latencies, lat)
 	if sr.Fallback {
 		c.fallbacks++
+	}
+	if sr.Learned {
+		c.learned++
 	}
 	c.noteStepFlags(sr.Demoted, sr.Fallback, stepIdx)
 	if !sr.Demoted && c.cfg.ScoreSink != nil {
@@ -547,6 +581,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			if cfg.ClientDelay != nil {
 				c.delay = cfg.ClientDelay(i)
 			}
+			if cfg.Adversary != nil {
+				if f := cfg.Adversary(i); f > 0 && f != 1 {
+					c.drift = f
+					c.driftAcc = 1
+				}
+			}
 			envCfg := abr.DefaultEnvConfig(cfg.Video, cfg.Traces)
 			env, err := abr.NewEnv(envCfg)
 			if err != nil {
@@ -602,6 +642,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			res.Recoveries += c.recoveries
 			res.Redemotions += c.redemotions
 			res.FlagMismatches += c.mismatches
+			res.StepsLearned += c.learned
+			if c.drift != 0 {
+				res.AdversarySteps += c.stepsOK
+				res.AdversaryLearned += c.learned
+			}
 			if c.everDemoted {
 				res.SessionsDemoted++
 			}

@@ -105,6 +105,10 @@ func (f *GuardFactory) NumActions() int { return f.arts.Agents[0].Actor.OutDim()
 // Dataset names the training distribution behind the artifacts.
 func (f *GuardFactory) Dataset() string { return f.arts.Dataset }
 
+// Artifacts exposes the factory's (read-only) artifact set — the
+// frozen baseline an online learner judges against.
+func (f *GuardFactory) Artifacts() *experiments.Artifacts { return f.arts }
+
 // Schemes lists the guard schemes this factory can build, given which
 // artifacts are present.
 func (f *GuardFactory) Schemes() []string {

@@ -16,6 +16,7 @@ import (
 
 	"osap/internal/core"
 	"osap/internal/experiments"
+	"osap/internal/learn"
 )
 
 // Config sizes a Server.
@@ -68,6 +69,18 @@ type Config struct {
 	// ListVersions, if set, lists stageable registry versions for the
 	// dashboard (best-effort; nil omits the field).
 	ListVersions func() []string
+	// ListProposed, if set, lists unpromoted online-learning proposals
+	// for the dashboard (best-effort; nil omits the field). Proposed
+	// versions are stageable like any other — the point of surfacing
+	// them separately is that nothing ever serves them automatically.
+	ListProposed func() []string
+	// Learner, if set, enables gated selective online learning
+	// (DESIGN.md §14): every session gets a private trust gate judging
+	// clean steps against the frozen boot baseline, and admitted
+	// feature vectors flow to the learner's experience window. Nil
+	// disables learning — zero cost on the step path beyond one
+	// pointer check.
+	Learner *learn.Learner
 	// ReadmitL and ReadmitCap configure session probation (DESIGN.md
 	// §13): an uncertainty-demoted session keeps scoring its guard in
 	// shadow and re-admits after ReadmitL consecutive confident shadow
@@ -201,6 +214,7 @@ func NewServer(f *GuardFactory, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	s.mux.HandleFunc("POST /admin/rollout", s.timed("rollout", s.handleRollout))
+	s.mux.HandleFunc("POST /admin/learn", s.timed("learn", s.handleLearn))
 	return s, nil
 }
 
@@ -366,6 +380,10 @@ type stepResponse struct {
 	// the session (served live again).
 	Probation bool `json:"probation,omitempty"`
 	Recovered bool `json:"recovered,omitempty"`
+	// Learned is true when the online-learning trust gate admitted
+	// this step into the experience window (always false with
+	// learning disabled).
+	Learned bool `json:"learned,omitempty"`
 }
 
 type errorResponse struct {
@@ -446,6 +464,13 @@ func (s *Server) createSession(scheme string) (*Session, error) {
 	sess := newSession(id, scheme, guard, now)
 	sess.class = classifyGuard(guard)
 	sess.gen = gen
+	if l := s.cfg.Learner; l != nil {
+		gate, err := l.NewGate(idx - 1)
+		if err != nil {
+			return nil, err
+		}
+		sess.gate = gate
+	}
 	sess.readmitL = s.cfg.ReadmitL
 	sess.readmitCap = s.cfg.ReadmitCap
 	sess.sigIdx = driftSignalIndex(scheme)
@@ -529,6 +554,12 @@ func (s *Server) recordStep(sess *Session, res StepResult) {
 	if res.Demoted {
 		s.metrics.DegradedSteps.Add(1)
 	}
+	if l := s.cfg.Learner; l != nil && !res.GateChecked {
+		// Demoted, probation and recovery steps never reach the gate;
+		// tallying them here keeps the conservation law exact:
+		// decisions_total == gate_checked + rejected_demoted.
+		l.Counters().RejectedDemoted.Add(1)
+	}
 	gen := sess.gen
 	st := gen.stats
 	d := st.Decisions.Add(1)
@@ -597,6 +628,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		Demoted:   res.Demoted,
 		Probation: res.Probation,
 		Recovered: res.Recovered,
+		Learned:   res.GateAdmitted,
 	})
 }
 
@@ -660,7 +692,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	doc := map[string]any{
 		"status":          status,
 		"dataset":         s.factory.Dataset(),
 		"schemes":         s.factory.Schemes(),
@@ -674,7 +706,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"latched_total":   s.metrics.SessionsLatched.Load(),
 		"active_version":  s.rollout.Active().Version(),
 		"candidate":       candidateVersion(s.rollout),
-	})
+	}
+	if l := s.cfg.Learner; l != nil {
+		doc["learn"] = l.Snapshot()
+	}
+	writeJSON(w, code, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

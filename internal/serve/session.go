@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"osap/internal/core"
+	"osap/internal/learn"
 	"osap/internal/mdp"
 	"osap/internal/rl"
 )
@@ -80,6 +81,13 @@ type Session struct {
 	gen        *Generation
 	driftShard uint32
 	sigIdx     uint8
+
+	// gate, when online learning is enabled, is the session's private
+	// trust gate (DESIGN.md §14): every clean serving step is
+	// re-judged against the frozen boot baseline and, if admitted,
+	// contributed to the experience window. Written once
+	// pre-publication; its mutable state is only touched under mu.
+	gate *learn.Gate
 }
 
 // newSession wraps a guard. The caller owns ID uniqueness.
@@ -133,6 +141,13 @@ type StepResult struct {
 	// the re-admission cap spent, or a shadow-step panic escalating an
 	// open probation.
 	Latched bool
+	// GateChecked is true when the online-learning trust gate judged
+	// this step (learning enabled and the step served cleanly —
+	// demoted, probation and recovery steps are never gate-checked);
+	// GateAdmitted is true when the gate admitted the step's features
+	// to the experience window.
+	GateChecked  bool
+	GateAdmitted bool
 }
 
 // demoteKind is the demotion taxonomy (DESIGN.md §13).
@@ -238,6 +253,10 @@ func (s *Session) finishLocked(obs []float64, d core.Decision, pv any, now time.
 	if d.Fired && !s.fired {
 		s.fired = true
 		res.FirstFiring = true
+	}
+	if s.gate != nil {
+		res.GateChecked = true
+		res.GateAdmitted = s.gate.Check(obs) == learn.VerdictAdmit
 	}
 	s.steps++
 	s.lastUsed.Store(now.UnixNano())
@@ -447,6 +466,9 @@ func (s *Session) Reset(now time.Time) (ResetOutcome, error) {
 	s.calm = 0
 	s.readmits = 0
 	s.guard.Reset()
+	if s.gate != nil {
+		s.gate.Reset()
+	}
 	s.fired = s.demoted // a surviving fault demotion keeps FirstFiring suppressed
 	s.lastUsed.Store(now.UnixNano())
 	return out, nil
